@@ -1,0 +1,135 @@
+//! Component micro-benchmarks: the hot per-cycle primitives of the
+//! simulator (predictor lookup, cache access, DRAM tick, chain
+//! extraction, full-system cycle rate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+use br_core::{extract_chain, CebRecord, ChainExtractionBuffer};
+use br_isa::Machine;
+use br_mem::{Cache, CacheConfig, Dram, DramConfig, MemoryConfig, MemorySystem, ReqSource};
+use br_ooo::{Core, CoreConfig, NullHooks};
+use br_predictor::{ConditionalPredictor, TageScl, TageSclConfig};
+use br_workloads::{workload_by_name, WorkloadParams};
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut p = TageScl::new(TageSclConfig::kb64());
+    let mut pc = 0x1000u64;
+    c.bench_function("tage_scl_predict_train", |b| {
+        b.iter(|| {
+            pc = pc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = 0x1000 + (pc >> 56);
+            let pred = p.predict(addr);
+            let taken = pc & 8 == 8;
+            p.update_history(addr, taken);
+            p.train(addr, taken, &pred);
+            black_box(pred.taken)
+        })
+    });
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut l1 = Cache::new(CacheConfig::l1());
+    let mut x = 1u64;
+    c.bench_function("l1_access", |b| {
+        b.iter(|| {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            black_box(l1.access(x % (1 << 20), false).hit)
+        })
+    });
+
+    let mut dram = Dram::new(DramConfig::default());
+    let mut now = 0u64;
+    let mut id = 0u64;
+    c.bench_function("dram_tick_with_traffic", |b| {
+        b.iter(|| {
+            if dram.can_accept() {
+                id += 1;
+                dram.enqueue(id, (id * 4096) % (1 << 28), false, now);
+            }
+            now += 1;
+            black_box(dram.tick(now).len())
+        })
+    });
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    // Fill a CEB with a realistic retired stream from the leela kernel.
+    let w = workload_by_name("leela_17").unwrap();
+    let image = w.build(&WorkloadParams {
+        scale: 512,
+        iterations: 200,
+        seed: 1,
+    });
+    let mut m = Machine::new(image.memory.into_memory());
+    let mut ceb = ChainExtractionBuffer::new(512);
+    let mut branch_pc = None;
+    while !m.halted() {
+        let rec = m.step(&image.program, None).unwrap();
+        let uop = *image.program.fetch(rec.pc).unwrap();
+        let retired = br_ooo::RetiredUop {
+            seq: m.steps(),
+            uop,
+            rec,
+            cycle: m.steps(),
+        };
+        ceb.push(CebRecord::from_retired(&retired));
+        if uop.is_cond_branch() && branch_pc.is_none() && m.steps() > 100 {
+            branch_pc = Some(uop.pc);
+        }
+    }
+    let target = branch_pc.expect("kernel has branches");
+    let limits = br_core::ExtractLimits {
+        max_chain_len: 16,
+        local_regs: 8,
+    };
+    c.bench_function("chain_extraction_walk", |b| {
+        b.iter(|| black_box(extract_chain(&ceb, target, &BTreeSet::new(), &limits).is_ok()))
+    });
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    c.bench_function("core_cycles_per_sec_leela", |b| {
+        b.iter_with_setup(
+            || {
+                let w = workload_by_name("leela_17").unwrap();
+                let image = w.build(&WorkloadParams {
+                    scale: 512,
+                    iterations: 1_000_000,
+                    seed: 1,
+                });
+                let machine = Machine::new(image.memory.into_memory());
+                let mut core = Core::new(
+                    CoreConfig::default(),
+                    image.program,
+                    machine,
+                    Box::new(TageScl::new(TageSclConfig::kb64())),
+                );
+                core.set_max_retired(5_000);
+                (core, MemorySystem::new(MemoryConfig::default()))
+            },
+            |(mut core, mut mem)| {
+                let mut hooks = NullHooks;
+                for cycle in 0..100_000 {
+                    let resps = mem.tick(cycle);
+                    if core.tick(&resps, &mut mem, &mut hooks).done {
+                        break;
+                    }
+                }
+                black_box(core.stats().retired_uops)
+            },
+        )
+    });
+
+    let _ = ReqSource::Core; // referenced to keep the import meaningful
+}
+
+criterion_group!(
+    benches,
+    bench_predictor,
+    bench_caches,
+    bench_extraction,
+    bench_full_system
+);
+criterion_main!(benches);

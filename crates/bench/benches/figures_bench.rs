@@ -1,0 +1,69 @@
+//! One Criterion bench per paper table/figure: times a reduced version of
+//! each experiment (the `figures` binary produces the full-size numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use br_sim::experiments::{self, ExperimentSetup};
+use br_sim::{render_table2, SimConfig};
+
+fn tiny_setup() -> ExperimentSetup {
+    let mut s = ExperimentSetup::quick();
+    s.max_retired = 15_000;
+    s.workloads = vec!["leela_17".into(), "bfs".into()];
+    s
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_render", |b| {
+        b.iter(|| SimConfig::baseline().render_table1())
+    });
+    c.bench_function("table2_render", |b| b.iter(render_table2));
+    c.bench_function("area_report", |b| b.iter(experiments::area_report));
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let setup = tiny_setup();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig1_hard_branch_rates", |b| {
+        b.iter(|| experiments::fig1(&setup))
+    });
+    g.bench_function("fig2_chain_length", |b| b.iter(|| experiments::fig2(&setup)));
+    g.bench_function("fig3_extra_uops", |b| b.iter(|| experiments::fig3(&setup)));
+    g.bench_function("fig5_affector_guard_fraction", |b| {
+        b.iter(|| experiments::fig5(&setup))
+    });
+    g.bench_function("fig10_ipc_mpki_improvement", |b| {
+        b.iter(|| experiments::fig10(&setup))
+    });
+    g.bench_function("fig11_top_mtage_vs_br", |b| {
+        b.iter(|| experiments::fig11_top(&setup))
+    });
+    g.bench_function("fig11_bottom_initiation_policies", |b| {
+        b.iter(|| experiments::fig11_bottom(&setup))
+    });
+    g.bench_function("fig12_prediction_breakdown", |b| {
+        b.iter(|| experiments::fig12(&setup))
+    });
+    g.bench_function("fig14_energy", |b| b.iter(|| experiments::fig14(&setup)));
+    g.bench_function("merge_point_accuracy", |b| {
+        b.iter(|| experiments::merge_point(&setup))
+    });
+    g.bench_function("ablations", |b| b.iter(|| experiments::ablations(&setup)));
+    g.finish();
+
+    // Figure 13 sweeps many configurations; bench it with one workload.
+    let mut sweep_setup = tiny_setup();
+    sweep_setup.workloads = vec!["leela_17".into()];
+    sweep_setup.max_retired = 8_000;
+    let mut g = c.benchmark_group("figures_sweep");
+    g.sample_size(10);
+    g.bench_function("fig13_parameter_sweeps", |b| {
+        b.iter(|| experiments::fig13(&sweep_setup))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

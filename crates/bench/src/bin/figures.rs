@@ -1,0 +1,78 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [--retired N] [--workloads a,b,c] <experiment>|all
+//! ```
+
+use std::process::ExitCode;
+
+use br_bench::{run_experiment, run_experiment_json, EXPERIMENTS};
+use br_sim::experiments::ExperimentSetup;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: figures [--quick] [--json] [--retired N] [--regions K] [--workloads a,b,c] <experiment>|all\n\
+         experiments: {}",
+        EXPERIMENTS.join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut setup = ExperimentSetup::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => setup = ExperimentSetup::quick(),
+            "--json" => json = true,
+            "--retired" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                setup.max_retired = n;
+            }
+            "--regions" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                // Paper-style 1..=5 regions with decaying weights.
+                setup.regions = (0..n.max(1))
+                    .map(|i| (i, 1.0 / (i + 1) as f64))
+                    .collect();
+            }
+            "--workloads" => {
+                let Some(list) = args.next() else {
+                    return usage();
+                };
+                setup.workloads = list.split(',').map(str::to_string).collect();
+            }
+            "--help" | "-h" => return usage(),
+            name => targets.push(name.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
+    }
+    for t in &targets {
+        if !EXPERIMENTS.contains(&t.as_str()) {
+            eprintln!("unknown experiment {t:?}");
+            return usage();
+        }
+    }
+    for t in targets {
+        let started = std::time::Instant::now();
+        if json {
+            println!("{}", run_experiment_json(&t, &setup));
+        } else {
+            println!("=== {t} ===");
+            println!("{}", run_experiment(&t, &setup));
+        }
+        eprintln!("[{t}: {:.1}s]", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,134 @@
+//! # br-bench — the benchmark harness
+//!
+//! Two entry points:
+//!
+//! * the **`figures` binary** regenerates every table and figure of the
+//!   paper's evaluation:
+//!
+//!   ```text
+//!   cargo run --release -p br-bench --bin figures -- all
+//!   cargo run --release -p br-bench --bin figures -- fig10
+//!   cargo run --release -p br-bench --bin figures -- --quick fig12
+//!   ```
+//!
+//! * the **Criterion benches** (`cargo bench -p br-bench`) time reduced
+//!   versions of each experiment plus component micro-benchmarks
+//!   (predictor lookups, cache accesses, chain extraction).
+//!
+//! The experiment logic itself lives in [`br_sim::experiments`]; this
+//! crate only drives it.
+
+#![warn(missing_docs)]
+
+use br_sim::experiments::{self, ExperimentSetup};
+
+/// Names accepted by the `figures` binary.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig10",
+    "fig11-top",
+    "fig11-bottom",
+    "fig12",
+    "fig13",
+    "fig14",
+    "merge-point",
+    "ablations",
+    "area",
+];
+
+/// Runs one named experiment and returns its JSON rendering (tables and
+/// static reports are wrapped as a string field).
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name.
+#[must_use]
+pub fn run_experiment_json(name: &str, setup: &ExperimentSetup) -> String {
+    match name {
+        "table1" | "table2" | "area" => {
+            let text = run_experiment(name, setup).replace('\n', "\\n").replace('"', "\\\"");
+            format!("{{\"name\": \"{name}\", \"text\": \"{text}\"}}")
+        }
+        "fig10" => {
+            let (mpki, ipc) = experiments::fig10(setup);
+            format!(
+                "{{\"name\": \"fig10\", \"mpki\": {}, \"ipc\": {}}}",
+                mpki.to_json(),
+                ipc.to_json()
+            )
+        }
+        other => {
+            let t = match other {
+                "fig1" => experiments::fig1(setup),
+                "fig2" => experiments::fig2(setup),
+                "fig3" => experiments::fig3(setup),
+                "fig5" => experiments::fig5(setup),
+                "fig11-top" => experiments::fig11_top(setup),
+                "fig11-bottom" => experiments::fig11_bottom(setup),
+                "fig12" => experiments::fig12(setup),
+                "fig13" => experiments::fig13(setup),
+                "fig14" => experiments::fig14(setup),
+                "merge-point" => experiments::merge_point(setup),
+                "ablations" => experiments::ablations(setup),
+                _ => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
+            };
+            format!("{{\"name\": \"{other}\", \"table\": {}}}", t.to_json())
+        }
+    }
+}
+
+/// Runs one named experiment and returns its rendered output.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name; callers validate against
+/// [`EXPERIMENTS`].
+#[must_use]
+pub fn run_experiment(name: &str, setup: &ExperimentSetup) -> String {
+    match name {
+        "table1" => br_sim::SimConfig::baseline().render_table1(),
+        "table2" => br_sim::render_table2(),
+        "fig1" => experiments::fig1(setup).to_string(),
+        "fig2" => experiments::fig2(setup).to_string(),
+        "fig3" => experiments::fig3(setup).to_string(),
+        "fig5" => experiments::fig5(setup).to_string(),
+        "fig10" => {
+            let (mpki, ipc) = experiments::fig10(setup);
+            format!("{mpki}\n{ipc}")
+        }
+        "fig11-top" => experiments::fig11_top(setup).to_string(),
+        "fig11-bottom" => experiments::fig11_bottom(setup).to_string(),
+        "fig12" => experiments::fig12(setup).to_string(),
+        "fig13" => experiments::fig13(setup).to_string(),
+        "fig14" => experiments::fig14(setup).to_string(),
+        "merge-point" => experiments::merge_point(setup).to_string(),
+        "ablations" => experiments::ablations(setup).to_string(),
+        "area" => experiments::area_report(),
+        other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_experiments_render() {
+        let setup = ExperimentSetup::quick();
+        for name in ["table1", "table2", "area"] {
+            let out = run_experiment(name, &setup);
+            assert!(!out.is_empty(), "{name} produced nothing");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_name_panics() {
+        let _ = run_experiment("fig99", &ExperimentSetup::quick());
+    }
+}

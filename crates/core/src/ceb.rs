@@ -1,0 +1,148 @@
+//! The Chain Extraction Buffer (§4.3, Figure 9): a circular buffer of the
+//! most recently retired micro-ops, searched backwards by chain extraction.
+
+use std::collections::VecDeque;
+
+use br_isa::{Pc, RegSet, Uop, Width};
+use br_ooo::RetiredUop;
+
+/// A retired uop as held in the CEB: the static uop plus the dynamic facts
+/// extraction needs (memory address, branch direction).
+#[derive(Clone, Copy, Debug)]
+pub struct CebRecord {
+    /// Dynamic sequence number (monotonic).
+    pub seq: u64,
+    /// The static uop.
+    pub uop: Uop,
+    /// Registers written.
+    pub dsts: RegSet,
+    /// Registers read.
+    pub srcs: RegSet,
+    /// Memory access: `(address, width, is_store)`.
+    pub mem: Option<(u64, Width, bool)>,
+    /// Resolved direction for conditional branches.
+    pub taken: Option<bool>,
+}
+
+impl CebRecord {
+    /// Builds a record from a retired uop.
+    #[must_use]
+    pub fn from_retired(r: &RetiredUop) -> Self {
+        CebRecord {
+            seq: r.seq,
+            uop: r.uop,
+            dsts: r.uop.dsts(),
+            srcs: r.uop.srcs(),
+            mem: r.rec.mem.map(|m| (m.addr, m.width, m.is_store)),
+            taken: if r.uop.is_cond_branch() {
+                r.rec.branch.map(|b| b.actual_taken)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// The circular retired-uop buffer (512 entries in the Mini config).
+#[derive(Clone, Debug)]
+pub struct ChainExtractionBuffer {
+    capacity: usize,
+    buf: VecDeque<CebRecord>,
+}
+
+impl ChainExtractionBuffer {
+    /// Creates a buffer holding the last `capacity` retired uops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CEB capacity must be nonzero");
+        ChainExtractionBuffer {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a retired uop, evicting the oldest if full.
+    pub fn push(&mut self, rec: CebRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(rec);
+    }
+
+    /// Number of buffered uops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The records, oldest first.
+    #[must_use]
+    pub fn as_slices(&self) -> (&[CebRecord], &[CebRecord]) {
+        self.buf.as_slices()
+    }
+
+    /// Iterates newest-to-oldest (the direction of the backwards dataflow
+    /// walk).
+    pub fn iter_backwards(&self) -> impl Iterator<Item = &CebRecord> {
+        self.buf.iter().rev()
+    }
+
+    /// Index (from the back, 0 = newest) of the newest record with `pc`,
+    /// if present.
+    #[must_use]
+    pub fn newest_instance_of(&self, pc: Pc) -> Option<usize> {
+        self.iter_backwards().position(|r| r.uop.pc == pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_isa::UopKind;
+
+    fn rec(seq: u64, pc: Pc) -> CebRecord {
+        CebRecord {
+            seq,
+            uop: Uop {
+                pc,
+                kind: UopKind::Nop,
+            },
+            dsts: RegSet::empty(),
+            srcs: RegSet::empty(),
+            mem: None,
+            taken: None,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut ceb = ChainExtractionBuffer::new(3);
+        for i in 0..5 {
+            ceb.push(rec(i, i));
+        }
+        assert_eq!(ceb.len(), 3);
+        let pcs: Vec<Pc> = ceb.iter_backwards().map(|r| r.uop.pc).collect();
+        assert_eq!(pcs, vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn newest_instance_lookup() {
+        let mut ceb = ChainExtractionBuffer::new(8);
+        for (i, pc) in [10u64, 20, 10, 30].iter().enumerate() {
+            ceb.push(rec(i as u64, *pc));
+        }
+        assert_eq!(ceb.newest_instance_of(10), Some(1), "newest 10 is 1 back");
+        assert_eq!(ceb.newest_instance_of(30), Some(0));
+        assert_eq!(ceb.newest_instance_of(99), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! The Dependence Chain Cache (§4.2): extracted chains awaiting initiation.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use br_isa::Pc;
+
+use crate::chain::DependenceChain;
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    chain: Arc<DependenceChain>,
+    lru: u64,
+}
+
+/// A small fully-associative LRU cache of dependence chains, indexed by
+/// initiation tag at lookup time. Multiple chains may share a tag (e.g.
+/// both branch A's and branch B's chains can be initiated by `<A, NT>`);
+/// a lookup returns all of them, matching §4.1 "initiate all matching
+/// chains".
+#[derive(Clone, Debug)]
+pub struct DependenceChainCache {
+    capacity: usize,
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    installs: u64,
+}
+
+impl DependenceChainCache {
+    /// Creates a cache holding `capacity` chains (32 in the Mini config).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "chain cache capacity must be nonzero");
+        DependenceChainCache {
+            capacity,
+            entries: Vec::new(),
+            tick: 0,
+            installs: 0,
+        }
+    }
+
+    /// Installs a chain, replacing any existing chain with the same tag
+    /// and target branch, or evicting the LRU entry when full.
+    pub fn install(&mut self, chain: DependenceChain) -> Arc<DependenceChain> {
+        self.tick += 1;
+        self.installs += 1;
+        let arc = Arc::new(chain);
+        if let Some(e) = self.entries.iter_mut().find(|e| {
+            e.chain.tag == arc.tag && e.chain.branch_pc == arc.branch_pc
+        }) {
+            e.chain = Arc::clone(&arc);
+            e.lru = self.tick;
+            return arc;
+        }
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter_mut()
+                .min_by_key(|e| e.lru)
+                .expect("nonempty at capacity");
+            *victim = CacheEntry {
+                chain: Arc::clone(&arc),
+                lru: self.tick,
+            };
+        } else {
+            self.entries.push(CacheEntry {
+                chain: Arc::clone(&arc),
+                lru: self.tick,
+            });
+        }
+        arc
+    }
+
+    /// All chains whose tag matches the `(pc, outcome)` event, refreshing
+    /// their LRU position.
+    pub fn lookup(&mut self, pc: Pc, outcome: bool) -> Vec<Arc<DependenceChain>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries
+            .iter_mut()
+            .filter(|e| e.chain.tag.matches(pc, outcome))
+            .map(|e| {
+                e.lru = tick;
+                Arc::clone(&e.chain)
+            })
+            .collect()
+    }
+
+    /// Whether any cached chain would match the `(pc, outcome)` event
+    /// (no LRU side effects).
+    #[must_use]
+    pub fn has_match(&self, pc: Pc, outcome: bool) -> bool {
+        self.entries.iter().any(|e| e.chain.tag.matches(pc, outcome))
+    }
+
+    /// Whether some cached chain pre-computes the branch at `pc` (i.e.
+    /// `pc` is a *covered* branch — drives Figure 12's denominator).
+    #[must_use]
+    pub fn covers_branch(&self, pc: Pc) -> bool {
+        self.entries.iter().any(|e| e.chain.branch_pc == pc)
+    }
+
+    /// The set of covered branch PCs.
+    #[must_use]
+    pub fn covered_branches(&self) -> BTreeSet<Pc> {
+        self.entries.iter().map(|e| e.chain.branch_pc).collect()
+    }
+
+    /// Iterates over the cached chains.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<DependenceChain>> {
+        self.entries.iter().map(|e| &e.chain)
+    }
+
+    /// Number of cached chains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total installs performed.
+    #[must_use]
+    pub fn installs(&self) -> u64 {
+        self.installs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainOp, ChainSrc, ChainTag};
+    use br_isa::Cond;
+
+    fn chain(tag_pc: Pc, outcome: Option<bool>, branch_pc: Pc) -> DependenceChain {
+        DependenceChain {
+            tag: ChainTag {
+                pc: tag_pc,
+                outcome,
+            },
+            branch_pc,
+            cond: Cond::Eq,
+            ops: vec![ChainOp::Cmp {
+                src1: ChainSrc::Reg(0),
+                src2: ChainSrc::Imm(0),
+            }],
+            live_ins: vec![(br_isa::reg::R1, 0)],
+            live_outs: vec![],
+            num_local_regs: 1,
+            guard_terminated: false,
+            eliminated_uops: 0,
+            source_pcs: std::collections::BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn lookup_matches_wildcard_and_outcome() {
+        let mut cc = DependenceChainCache::new(8);
+        cc.install(chain(0x10, None, 0x10)); // <A,*> -> A
+        cc.install(chain(0x10, Some(false), 0x20)); // <A,NT> -> B
+        assert_eq!(cc.lookup(0x10, false).len(), 2);
+        assert_eq!(cc.lookup(0x10, true).len(), 1);
+        assert!(cc.covers_branch(0x20));
+        assert!(!cc.covers_branch(0x30));
+    }
+
+    #[test]
+    fn reinstall_replaces_same_identity() {
+        let mut cc = DependenceChainCache::new(8);
+        cc.install(chain(0x10, None, 0x10));
+        let mut c2 = chain(0x10, None, 0x10);
+        c2.eliminated_uops = 5;
+        cc.install(c2);
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc.lookup(0x10, true)[0].eliminated_uops, 5);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut cc = DependenceChainCache::new(2);
+        cc.install(chain(0x10, None, 0x10));
+        cc.install(chain(0x20, None, 0x20));
+        let _ = cc.lookup(0x10, true); // refresh 0x10
+        cc.install(chain(0x30, None, 0x30)); // evicts 0x20
+        assert!(cc.covers_branch(0x10));
+        assert!(!cc.covers_branch(0x20));
+        assert!(cc.covers_branch(0x30));
+        assert_eq!(cc.len(), 2);
+    }
+}

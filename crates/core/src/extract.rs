@@ -1,0 +1,1014 @@
+//! Dependence-chain extraction (§4.3, Figure 9).
+//!
+//! A backwards dataflow walk over the Chain Extraction Buffer, starting at
+//! the most recently retired instance of a hard-to-predict branch:
+//!
+//! 1. the search list starts with the branch's source registers (the
+//!    condition codes),
+//! 2. older uops whose destinations intersect the search list join the
+//!    chain; their sources join the search list,
+//! 3. loads are matched against older stores by dynamic address (the CEB
+//!    store buffer); a matching store joins the chain,
+//! 4. the walk terminates at a second instance of the same branch (tag
+//!    `<PC, *>`) or at an affector/guard branch (tag `<PC, taken>`).
+//!
+//! The collected slice is then locally renamed with move elimination and
+//! store→load elimination (§4.3 "Dependence Chain Optimizations"), which
+//! guarantees chains contain no stores, and local registers are compacted
+//! by lifetime so the chain fits an 8-entry local register file.
+
+use std::collections::{BTreeSet, HashMap};
+
+use br_isa::{ArchReg, Operand, Pc, RegSet, UopKind, FLAGS};
+
+use crate::ceb::{CebRecord, ChainExtractionBuffer};
+use crate::chain::{ChainOp, ChainSrc, ChainTag, DependenceChain, LocalReg};
+
+/// Why extraction produced no chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtractOutcome {
+    /// A chain was produced (paired with the chain itself by the caller).
+    Ok,
+    /// The walk ran off the CEB without finding a terminator.
+    NoTermination,
+    /// The chain would exceed the uop cap.
+    TooLong,
+    /// The chain needs more local registers than a local register file has.
+    TooManyRegs,
+    /// The slice contains an operation the DCE cannot execute (§1: no
+    /// divides / floating point).
+    ForbiddenOp,
+    /// No flag-producing compare was found (the outcome would depend on
+    /// live-in condition codes — not a computable chain).
+    NoCmp,
+    /// The target branch was not found in the CEB.
+    TargetMissing,
+}
+
+/// Limits applied during extraction.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractLimits {
+    /// Maximum executable chain ops after elimination.
+    pub max_chain_len: usize,
+    /// Local register file size.
+    pub local_regs: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Binding {
+    Local(usize),
+    Imm(i64),
+}
+
+struct Renamer {
+    bind: HashMap<ArchReg, Binding>,
+    next_virtual: usize,
+    live_ins: Vec<(ArchReg, usize)>,
+    written: BTreeSet<ArchReg>,
+}
+
+impl Renamer {
+    fn new() -> Self {
+        Renamer {
+            bind: HashMap::new(),
+            next_virtual: 0,
+            live_ins: Vec::new(),
+            written: BTreeSet::new(),
+        }
+    }
+
+    fn alloc(&mut self) -> usize {
+        let v = self.next_virtual;
+        self.next_virtual += 1;
+        v
+    }
+
+    /// Resolves a read of `r`, allocating a live-in on first touch.
+    fn read(&mut self, r: ArchReg) -> ChainSrcV {
+        match self.bind.get(&r) {
+            Some(Binding::Local(l)) => ChainSrcV::Reg(*l),
+            Some(Binding::Imm(v)) => ChainSrcV::Imm(*v),
+            None => {
+                let l = self.alloc();
+                self.live_ins.push((r, l));
+                self.bind.insert(r, Binding::Local(l));
+                ChainSrcV::Reg(l)
+            }
+        }
+    }
+
+    fn read_operand(&mut self, o: Operand) -> ChainSrcV {
+        match o {
+            Operand::Reg(r) => self.read(r),
+            Operand::Imm(v) => ChainSrcV::Imm(v),
+        }
+    }
+
+    fn write(&mut self, r: ArchReg) -> usize {
+        let l = self.alloc();
+        self.bind.insert(r, Binding::Local(l));
+        self.written.insert(r);
+        l
+    }
+
+    fn alias(&mut self, r: ArchReg, src: ChainSrcV) {
+        let b = match src {
+            ChainSrcV::Reg(l) => Binding::Local(l),
+            ChainSrcV::Imm(v) => Binding::Imm(v),
+        };
+        self.bind.insert(r, b);
+        self.written.insert(r);
+    }
+}
+
+/// Chain sources over *virtual* (pre-compaction) locals.
+#[derive(Clone, Copy, Debug)]
+enum ChainSrcV {
+    Reg(usize),
+    Imm(i64),
+}
+
+#[derive(Clone, Debug)]
+enum ChainOpV {
+    Alu {
+        op: br_isa::AluOp,
+        dst: usize,
+        src1: ChainSrcV,
+        src2: ChainSrcV,
+    },
+    Load {
+        dst: usize,
+        base: Option<ChainSrcV>,
+        index: Option<ChainSrcV>,
+        scale: u8,
+        disp: i64,
+        width: br_isa::Width,
+        signed: bool,
+    },
+    Cmp {
+        src1: ChainSrcV,
+        src2: ChainSrcV,
+    },
+}
+
+/// Extracts the dependence chain of `target_pc` from the CEB.
+///
+/// `ag_set` is the (bias-filtered) affector/guard set of the target from
+/// the Hard Branch Table. Returns the chain or the rejection reason.
+///
+/// # Errors
+///
+/// Returns the [`ExtractOutcome`] describing why no chain was produced.
+pub fn extract_chain(
+    ceb: &ChainExtractionBuffer,
+    target_pc: Pc,
+    ag_set: &BTreeSet<Pc>,
+    limits: &ExtractLimits,
+) -> Result<DependenceChain, ExtractOutcome> {
+    let (a, b) = ceb.as_slices();
+    let recs: Vec<&CebRecord> = a.iter().chain(b.iter()).collect();
+
+    // Newest instance of the target.
+    let end = recs
+        .iter()
+        .rposition(|r| r.uop.pc == target_pc && r.uop.is_cond_branch())
+        .ok_or(ExtractOutcome::TargetMissing)?;
+    let target = recs[end];
+    let cond = match target.uop.kind {
+        UopKind::Branch { cond, .. } => cond,
+        _ => return Err(ExtractOutcome::TargetMissing),
+    };
+
+    // ---------------------------------------------------- backward walk
+    let mut search: RegSet = target.srcs;
+    let mut collected: Vec<usize> = Vec::new(); // indices, youngest-first
+    // Loads awaiting an older matching store: (addr, width, load idx).
+    let mut pending_loads: Vec<(u64, u64, usize)> = Vec::new();
+    // load idx -> store idx, for elimination.
+    let mut pairs: HashMap<usize, usize> = HashMap::new();
+    let mut tag: Option<ChainTag> = None;
+    let mut guard_terminated = false;
+
+    for i in (0..end).rev() {
+        let r = recs[i];
+        if r.uop.is_cond_branch() {
+            if r.uop.pc == target_pc {
+                tag = Some(ChainTag {
+                    pc: target_pc,
+                    outcome: None,
+                });
+                break;
+            }
+            if ag_set.contains(&r.uop.pc) {
+                tag = Some(ChainTag {
+                    pc: r.uop.pc,
+                    outcome: r.taken,
+                });
+                guard_terminated = true;
+                break;
+            }
+            continue;
+        }
+
+        // Store matching an already-collected load (the "CEB store
+        // buffer" of Figure 9).
+        if let Some((addr, width, is_store)) = r.mem {
+            if is_store {
+                if let Some(pos) = pending_loads
+                    .iter()
+                    .position(|&(la, lw, _)| la == addr && lw == width.bytes())
+                {
+                    let (_, _, load_idx) = pending_loads.swap_remove(pos);
+                    pairs.insert(load_idx, i);
+                    collected.push(i);
+                    // Only the *value* source matters; the pair is
+                    // move-eliminated so the address computation is
+                    // dropped.
+                    if let UopKind::Store { src, .. } = r.uop.kind {
+                        if let Some(vr) = src.reg() {
+                            search.insert(vr);
+                        }
+                    }
+                    if collected.len() > limits.max_chain_len * 3 {
+                        return Err(ExtractOutcome::TooLong);
+                    }
+                }
+                continue;
+            }
+        }
+
+        if !r.dsts.intersects(search) {
+            continue;
+        }
+        // Forbidden operations poison the chain.
+        if let UopKind::Alu { op, .. } = r.uop.kind {
+            if !op.dce_allowed() {
+                return Err(ExtractOutcome::ForbiddenOp);
+            }
+        }
+        collected.push(i);
+        if collected.len() > limits.max_chain_len * 3 {
+            return Err(ExtractOutcome::TooLong);
+        }
+        search = search.difference(r.dsts);
+        search = search.union(r.srcs);
+        if let Some((addr, width, false)) = r.mem {
+            pending_loads.push((addr, width.bytes(), i));
+            // The load's address registers stay in the search set (they
+            // are only dropped if the load pairs with a store, in which
+            // case the chain never computes the address).
+        }
+    }
+
+    let tag = tag.ok_or(ExtractOutcome::NoTermination)?;
+
+    // ------------------------------------------- rename and elimination
+    collected.sort_unstable();
+    let store_indices: BTreeSet<usize> = pairs.values().copied().collect();
+    // Stored-value binding captured at the store's program position.
+    let mut store_value: HashMap<usize, ChainSrcV> = HashMap::new();
+
+    let mut rn = Renamer::new();
+    let mut ops_v: Vec<ChainOpV> = Vec::new();
+    let mut eliminated = 0usize;
+    let mut cmp_found = false;
+
+    for &i in &collected {
+        let r = recs[i];
+        if store_indices.contains(&i) {
+            if let UopKind::Store { src, .. } = r.uop.kind {
+                store_value.insert(i, rn.read_operand(src));
+                eliminated += 1;
+            }
+            continue;
+        }
+        match r.uop.kind {
+            UopKind::Mov { dst, src } => {
+                let s = rn.read_operand(src);
+                rn.alias(dst, s);
+                eliminated += 1;
+            }
+            UopKind::Load {
+                dst,
+                addr,
+                width,
+                signed,
+            } => {
+                if let Some(&st) = pairs.get(&i) {
+                    // Store→load pair: logically a move (§4.3).
+                    let v = store_value
+                        .get(&st)
+                        .copied()
+                        .expect("store processed before its load");
+                    rn.alias(dst, v);
+                    eliminated += 1;
+                } else {
+                    let base = addr.base.map(|b| rn.read(b));
+                    let index = addr.index.map(|x| rn.read(x));
+                    let d = rn.write(dst);
+                    ops_v.push(ChainOpV::Load {
+                        dst: d,
+                        base,
+                        index,
+                        scale: addr.scale,
+                        disp: addr.disp,
+                        width,
+                        signed,
+                    });
+                }
+            }
+            UopKind::Alu { op, dst, src1, src2 } => {
+                let s1 = rn.read(src1);
+                let s2 = rn.read_operand(src2);
+                let d = rn.write(dst);
+                ops_v.push(ChainOpV::Alu {
+                    op,
+                    dst: d,
+                    src1: s1,
+                    src2: s2,
+                });
+            }
+            UopKind::Cmp { src1, src2 } => {
+                let s1 = rn.read(src1);
+                let s2 = rn.read_operand(src2);
+                rn.written.insert(FLAGS);
+                ops_v.push(ChainOpV::Cmp { src1: s1, src2: s2 });
+                cmp_found = true;
+            }
+            // Calls write their link register; if that feeds the branch
+            // (rare), treat the link value as a constant of the slice.
+            UopKind::Call { link, .. } => {
+                rn.alias(link, ChainSrcV::Imm((recs[i].uop.pc + 1) as i64));
+                eliminated += 1;
+            }
+            UopKind::Store { .. }
+            | UopKind::Branch { .. }
+            | UopKind::Jump { .. }
+            | UopKind::JumpInd { .. }
+            | UopKind::Nop
+            | UopKind::Halt => {}
+        }
+    }
+
+    if !cmp_found {
+        return Err(ExtractOutcome::NoCmp);
+    }
+    if ops_v.len() > limits.max_chain_len {
+        return Err(ExtractOutcome::TooLong);
+    }
+
+    // Live-outs: every written (or aliased) register's final binding, plus
+    // untouched live-ins pass through implicitly via the instance context.
+    let live_outs_v: Vec<(ArchReg, ChainSrcV)> = rn
+        .written
+        .iter()
+        .filter(|r| !r.is_flags())
+        .map(|r| {
+            let b = match rn.bind.get(r) {
+                Some(Binding::Local(l)) => ChainSrcV::Reg(*l),
+                Some(Binding::Imm(v)) => ChainSrcV::Imm(*v),
+                None => unreachable!("written reg must be bound"),
+            };
+            (*r, b)
+        })
+        .collect();
+
+    // ------------------------------------ local register compaction
+    let (ops, live_ins, live_outs, num_locals) = compact_locals(
+        &ops_v,
+        &rn.live_ins,
+        &live_outs_v,
+        limits.local_regs,
+    )
+    .ok_or(ExtractOutcome::TooManyRegs)?;
+
+    let source_pcs: BTreeSet<Pc> = collected.iter().map(|&i| recs[i].uop.pc).collect();
+    Ok(DependenceChain {
+        tag,
+        branch_pc: target_pc,
+        cond,
+        ops,
+        live_ins,
+        live_outs,
+        num_local_regs: num_locals,
+        guard_terminated,
+        eliminated_uops: eliminated,
+        source_pcs,
+    })
+}
+
+/// Lifetime-based compaction of virtual locals into the physical local
+/// register file (the paper's local rename "minimizes physical register
+/// footprint"). Returns `None` if more than `budget` registers are live
+/// simultaneously.
+#[allow(clippy::type_complexity)]
+fn compact_locals(
+    ops: &[ChainOpV],
+    live_ins: &[(ArchReg, usize)],
+    live_outs: &[(ArchReg, ChainSrcV)],
+    budget: usize,
+) -> Option<(
+    Vec<ChainOp>,
+    Vec<(ArchReg, LocalReg)>,
+    Vec<(ArchReg, ChainSrc)>,
+    usize,
+)> {
+    const END: usize = usize::MAX;
+    let mut last_use: HashMap<usize, usize> = HashMap::new();
+    for (r, v) in live_ins {
+        let _ = r;
+        last_use.insert(*v, 0); // at least alive at start
+    }
+    let touch = |m: &mut HashMap<usize, usize>, s: &ChainSrcV, at: usize| {
+        if let ChainSrcV::Reg(v) = s {
+            let e = m.entry(*v).or_insert(at);
+            *e = (*e).max(at);
+        }
+    };
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            ChainOpV::Alu { src1, src2, .. } | ChainOpV::Cmp { src1, src2 } => {
+                touch(&mut last_use, src1, i);
+                touch(&mut last_use, src2, i);
+            }
+            ChainOpV::Load { base, index, .. } => {
+                if let Some(b) = base {
+                    touch(&mut last_use, b, i);
+                }
+                if let Some(x) = index {
+                    touch(&mut last_use, x, i);
+                }
+            }
+        }
+    }
+    // Live-outs are read by successor chains: alive to the end.
+    for (_, b) in live_outs {
+        if let ChainSrcV::Reg(v) = b {
+            last_use.insert(*v, END);
+        }
+    }
+
+    let mut mapping: HashMap<usize, LocalReg> = HashMap::new();
+    let mut free: Vec<LocalReg> = (0..budget as u8).rev().collect();
+    let mut in_use: Vec<(usize, LocalReg)> = Vec::new(); // (virtual, phys)
+
+    let alloc = |v: usize,
+                     mapping: &mut HashMap<usize, LocalReg>,
+                     free: &mut Vec<LocalReg>,
+                     in_use: &mut Vec<(usize, LocalReg)>|
+     -> Option<LocalReg> {
+        let p = free.pop()?;
+        mapping.insert(v, p);
+        in_use.push((v, p));
+        Some(p)
+    };
+
+    // Live-ins allocated up front (the core writes them at sync).
+    for (_, v) in live_ins {
+        alloc(*v, &mut mapping, &mut free, &mut in_use)?;
+    }
+
+    let release_dead = |at: usize,
+                            free: &mut Vec<LocalReg>,
+                            in_use: &mut Vec<(usize, LocalReg)>,
+                            last_use: &HashMap<usize, usize>| {
+        in_use.retain(|(v, p)| {
+            let lu = last_use.get(v).copied().unwrap_or(0);
+            if lu != END && lu < at {
+                free.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+    };
+
+    let map_src = |s: &ChainSrcV, mapping: &HashMap<usize, LocalReg>| -> ChainSrc {
+        match s {
+            ChainSrcV::Reg(v) => ChainSrc::Reg(mapping[v]),
+            ChainSrcV::Imm(i) => ChainSrc::Imm(*i),
+        }
+    };
+
+    let mut out = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        // Sources are read at i; anything last used before i is dead.
+        release_dead(i, &mut free, &mut in_use, &last_use);
+        let mapped = match op {
+            ChainOpV::Alu { op, dst, src1, src2 } => {
+                let s1 = map_src(src1, &mapping);
+                let s2 = map_src(src2, &mapping);
+                // Sources whose last use is exactly i can donate their
+                // register to the destination.
+                release_dead(i + 1, &mut free, &mut in_use, &last_use);
+                let d = alloc(*dst, &mut mapping, &mut free, &mut in_use)?;
+                ChainOp::Alu {
+                    op: *op,
+                    dst: d,
+                    src1: s1,
+                    src2: s2,
+                }
+            }
+            ChainOpV::Load {
+                dst,
+                base,
+                index,
+                scale,
+                disp,
+                width,
+                signed,
+            } => {
+                let b = base.as_ref().map(|s| map_src(s, &mapping));
+                let x = index.as_ref().map(|s| map_src(s, &mapping));
+                release_dead(i + 1, &mut free, &mut in_use, &last_use);
+                let d = alloc(*dst, &mut mapping, &mut free, &mut in_use)?;
+                ChainOp::Load {
+                    dst: d,
+                    base: b,
+                    index: x,
+                    scale: *scale,
+                    disp: *disp,
+                    width: *width,
+                    signed: *signed,
+                }
+            }
+            ChainOpV::Cmp { src1, src2 } => ChainOp::Cmp {
+                src1: map_src(src1, &mapping),
+                src2: map_src(src2, &mapping),
+            },
+        };
+        out.push(mapped);
+    }
+
+    let live_ins_m: Vec<(ArchReg, LocalReg)> = live_ins
+        .iter()
+        .map(|(r, v)| (*r, mapping[v]))
+        .collect();
+    let live_outs_m: Vec<(ArchReg, ChainSrc)> = live_outs
+        .iter()
+        .map(|(r, b)| (*r, map_src(b, &mapping)))
+        .collect();
+    let num_locals = budget - free.len();
+    Some((out, live_ins_m, live_outs_m, num_locals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ceb::ChainExtractionBuffer;
+    use br_isa::{
+        reg, Cond as ICond, MemOperand, Uop, UopKind, Width,
+    };
+
+    /// Helper to hand-build CEB records.
+    struct CebBuilder {
+        ceb: ChainExtractionBuffer,
+        seq: u64,
+    }
+
+    impl CebBuilder {
+        fn new() -> Self {
+            CebBuilder {
+                ceb: ChainExtractionBuffer::new(512),
+                seq: 0,
+            }
+        }
+
+        fn push(&mut self, pc: Pc, kind: UopKind, mem: Option<(u64, Width, bool)>, taken: Option<bool>) {
+            let uop = Uop { pc, kind };
+            self.ceb.push(CebRecord {
+                seq: self.seq,
+                uop,
+                dsts: uop.dsts(),
+                srcs: uop.srcs(),
+                mem,
+                taken,
+            });
+            self.seq += 1;
+        }
+    }
+
+    const LIMITS: ExtractLimits = ExtractLimits {
+        max_chain_len: 16,
+        local_regs: 8,
+    };
+
+    /// The leela-like loop from Figure 4: one iteration's uops.
+    /// r3 = pointer into offsets, r4 = offset value, r5 = board index,
+    /// r12 = board base.
+    fn push_leela_iteration(b: &mut CebBuilder, a_taken: bool, board_val: u64) {
+        // add r3, r3, 4          (induction)
+        b.push(
+            0x0,
+            UopKind::Alu {
+                op: br_isa::AluOp::Add,
+                dst: reg::R3,
+                src1: reg::R3,
+                src2: Operand::Imm(4),
+            },
+            None,
+            None,
+        );
+        // ld r4 <- [r3]
+        b.push(
+            0x1,
+            UopKind::Load {
+                dst: reg::R4,
+                addr: MemOperand::base_disp(reg::R3, 0),
+                width: Width::B4,
+                signed: true,
+            },
+            Some((0x5000, Width::B4, false)),
+            None,
+        );
+        // add r5, r4, r14
+        b.push(
+            0x2,
+            UopKind::Alu {
+                op: br_isa::AluOp::Add,
+                dst: reg::R5,
+                src1: reg::R4,
+                src2: Operand::Reg(reg::R14),
+            },
+            None,
+            None,
+        );
+        // ld r6 <- board[r5]  (the random board value)
+        b.push(
+            0x3,
+            UopKind::Load {
+                dst: reg::R6,
+                addr: MemOperand::base_index(reg::R12, reg::R5, 4, 0x6f0),
+                width: Width::B4,
+                signed: false,
+            },
+            Some((0x9000 + board_val * 4, Width::B4, false)),
+            None,
+        );
+        // cmp r6, 2
+        b.push(
+            0x4,
+            UopKind::Cmp {
+                src1: reg::R6,
+                src2: Operand::Imm(2),
+            },
+            None,
+            None,
+        );
+        // branch A at pc 5
+        b.push(
+            0x5,
+            UopKind::Branch {
+                cond: ICond::Ne,
+                target: 0x9,
+            },
+            None,
+            Some(a_taken),
+        );
+    }
+
+    #[test]
+    fn leela_chain_extracts_self_terminated() {
+        let mut b = CebBuilder::new();
+        push_leela_iteration(&mut b, true, 1);
+        push_leela_iteration(&mut b, false, 2);
+        let chain = extract_chain(&b.ceb, 0x5, &BTreeSet::new(), &LIMITS).unwrap();
+        assert_eq!(
+            chain.tag,
+            ChainTag {
+                pc: 0x5,
+                outcome: None
+            },
+            "self-terminated chains get the wildcard tag of Figure 4c"
+        );
+        assert_eq!(chain.branch_pc, 0x5);
+        assert_eq!(chain.cond, ICond::Ne);
+        // add(induction), load, add, load, cmp = 5 ops.
+        assert_eq!(chain.len(), 5);
+        assert!(!chain.guard_terminated);
+        // Live-ins: r3 (pointer), r14, r12. All three needed.
+        let li: Vec<ArchReg> = chain.live_ins.iter().map(|(r, _)| *r).collect();
+        assert!(li.contains(&reg::R3) && li.contains(&reg::R14) && li.contains(&reg::R12));
+        // The induction variable is a live-out so the chain self-sustains.
+        assert!(chain.live_out_binding(reg::R3).is_some());
+        assert!(chain.num_local_regs <= 8);
+    }
+
+    #[test]
+    fn guard_terminated_chain_tagged_with_outcome() {
+        // Branch B (pc 0x8) guarded by A (pc 0x5): extraction for B stops
+        // at A and tags <A, NT> like Figure 4d.
+        let mut b = CebBuilder::new();
+        push_leela_iteration(&mut b, false, 1); // A not-taken -> B executes
+        // B's feeder: ld r7 <- [r12 + r5*2 + 0x1ba4]; cmp r7, 1; branch B
+        b.push(
+            0x6,
+            UopKind::Load {
+                dst: reg::R7,
+                addr: MemOperand::base_index(reg::R12, reg::R5, 2, 0x1ba4),
+                width: Width::B2,
+                signed: false,
+            },
+            Some((0xa000, Width::B2, false)),
+            None,
+        );
+        b.push(
+            0x7,
+            UopKind::Cmp {
+                src1: reg::R7,
+                src2: Operand::Imm(1),
+            },
+            None,
+            None,
+        );
+        b.push(
+            0x8,
+            UopKind::Branch {
+                cond: ICond::Le,
+                target: 0x9,
+            },
+            None,
+            Some(true),
+        );
+        let ag: BTreeSet<Pc> = [0x5u64].into_iter().collect();
+        let chain = extract_chain(&b.ceb, 0x8, &ag, &LIMITS).unwrap();
+        assert_eq!(
+            chain.tag,
+            ChainTag {
+                pc: 0x5,
+                outcome: Some(false)
+            }
+        );
+        assert!(chain.guard_terminated);
+        assert_eq!(chain.branch_pc, 0x8);
+        // load + cmp (r5 is a live-in: its producer is beyond the guard).
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn store_load_pair_eliminated() {
+        // st [0x100] <- r2 ; ld r4 <- [0x100] ; cmp r4,0 ; br ; (x2)
+        let mut b = CebBuilder::new();
+        for taken in [true, false] {
+            b.push(
+                0x0,
+                UopKind::Alu {
+                    op: br_isa::AluOp::Add,
+                    dst: reg::R2,
+                    src1: reg::R2,
+                    src2: Operand::Imm(1),
+                },
+                None,
+                None,
+            );
+            b.push(
+                0x1,
+                UopKind::Store {
+                    src: Operand::Reg(reg::R2),
+                    addr: MemOperand::absolute(0x100),
+                    width: Width::B8,
+                },
+                Some((0x100, Width::B8, true)),
+                None,
+            );
+            b.push(
+                0x2,
+                UopKind::Load {
+                    dst: reg::R4,
+                    addr: MemOperand::absolute(0x100),
+                    width: Width::B8,
+                    signed: false,
+                },
+                Some((0x100, Width::B8, false)),
+                None,
+            );
+            b.push(
+                0x3,
+                UopKind::Cmp {
+                    src1: reg::R4,
+                    src2: Operand::Imm(0),
+                },
+                None,
+                None,
+            );
+            b.push(
+                0x4,
+                UopKind::Branch {
+                    cond: ICond::Eq,
+                    target: 0x5,
+                },
+                None,
+                Some(taken),
+            );
+        }
+        let chain = extract_chain(&b.ceb, 0x4, &BTreeSet::new(), &LIMITS).unwrap();
+        // add + cmp survive; store+load eliminated.
+        assert_eq!(chain.len(), 2);
+        assert!(chain.eliminated_uops >= 2);
+        assert!(
+            chain.ops.iter().all(|o| !o.is_load()),
+            "store→load pairs must be move-eliminated: {chain}"
+        );
+    }
+
+    #[test]
+    fn mov_elimination() {
+        let mut b = CebBuilder::new();
+        for taken in [true, false] {
+            b.push(
+                0x0,
+                UopKind::Alu {
+                    op: br_isa::AluOp::Add,
+                    dst: reg::R1,
+                    src1: reg::R1,
+                    src2: Operand::Imm(1),
+                },
+                None,
+                None,
+            );
+            b.push(
+                0x1,
+                UopKind::Mov {
+                    dst: reg::R2,
+                    src: Operand::Reg(reg::R1),
+                },
+                None,
+                None,
+            );
+            b.push(
+                0x2,
+                UopKind::Cmp {
+                    src1: reg::R2,
+                    src2: Operand::Imm(7),
+                },
+                None,
+                None,
+            );
+            b.push(
+                0x3,
+                UopKind::Branch {
+                    cond: ICond::Eq,
+                    target: 0x4,
+                },
+                None,
+                Some(taken),
+            );
+        }
+        let chain = extract_chain(&b.ceb, 0x3, &BTreeSet::new(), &LIMITS).unwrap();
+        assert_eq!(chain.len(), 2, "mov eliminated: add + cmp remain");
+        assert_eq!(chain.eliminated_uops, 1);
+    }
+
+    #[test]
+    fn divide_rejected() {
+        let mut b = CebBuilder::new();
+        for taken in [true, false] {
+            b.push(
+                0x0,
+                UopKind::Alu {
+                    op: br_isa::AluOp::Div,
+                    dst: reg::R1,
+                    src1: reg::R1,
+                    src2: Operand::Imm(3),
+                },
+                None,
+                None,
+            );
+            b.push(
+                0x1,
+                UopKind::Cmp {
+                    src1: reg::R1,
+                    src2: Operand::Imm(0),
+                },
+                None,
+                None,
+            );
+            b.push(
+                0x2,
+                UopKind::Branch {
+                    cond: ICond::Eq,
+                    target: 0x3,
+                },
+                None,
+                Some(taken),
+            );
+        }
+        assert_eq!(
+            extract_chain(&b.ceb, 0x2, &BTreeSet::new(), &LIMITS),
+            Err(ExtractOutcome::ForbiddenOp)
+        );
+    }
+
+    #[test]
+    fn single_instance_no_termination() {
+        let mut b = CebBuilder::new();
+        push_leela_iteration(&mut b, true, 1);
+        assert_eq!(
+            extract_chain(&b.ceb, 0x5, &BTreeSet::new(), &LIMITS),
+            Err(ExtractOutcome::NoTermination)
+        );
+    }
+
+    #[test]
+    fn missing_target_reported() {
+        let b = CebBuilder::new();
+        assert_eq!(
+            extract_chain(&b.ceb, 0x5, &BTreeSet::new(), &LIMITS),
+            Err(ExtractOutcome::TargetMissing)
+        );
+    }
+
+    #[test]
+    fn too_long_chain_rejected() {
+        let mut b = CebBuilder::new();
+        for taken in [true, false] {
+            // 20 dependent adds feeding the cmp.
+            for _ in 0..20 {
+                b.push(
+                    0x0,
+                    UopKind::Alu {
+                        op: br_isa::AluOp::Add,
+                        dst: reg::R1,
+                        src1: reg::R1,
+                        src2: Operand::Imm(1),
+                    },
+                    None,
+                    None,
+                );
+            }
+            b.push(
+                0x1,
+                UopKind::Cmp {
+                    src1: reg::R1,
+                    src2: Operand::Imm(0),
+                },
+                None,
+                None,
+            );
+            b.push(
+                0x2,
+                UopKind::Branch {
+                    cond: ICond::Eq,
+                    target: 0x3,
+                },
+                None,
+                Some(taken),
+            );
+        }
+        assert_eq!(
+            extract_chain(&b.ceb, 0x2, &BTreeSet::new(), &LIMITS),
+            Err(ExtractOutcome::TooLong)
+        );
+    }
+
+    #[test]
+    fn compaction_reuses_registers() {
+        // A chain of dependent adds: each dst can reuse the dying src reg,
+        // so the whole chain should need very few locals.
+        let mut b = CebBuilder::new();
+        for taken in [true, false] {
+            for _ in 0..10 {
+                b.push(
+                    0x0,
+                    UopKind::Alu {
+                        op: br_isa::AluOp::Add,
+                        dst: reg::R1,
+                        src1: reg::R1,
+                        src2: Operand::Imm(1),
+                    },
+                    None,
+                    None,
+                );
+            }
+            b.push(
+                0x1,
+                UopKind::Cmp {
+                    src1: reg::R1,
+                    src2: Operand::Imm(0),
+                },
+                None,
+                None,
+            );
+            b.push(
+                0x2,
+                UopKind::Branch {
+                    cond: ICond::Eq,
+                    target: 0x3,
+                },
+                None,
+                Some(taken),
+            );
+        }
+        let limits = ExtractLimits {
+            max_chain_len: 16,
+            local_regs: 8,
+        };
+        let chain = extract_chain(&b.ceb, 0x2, &BTreeSet::new(), &limits).unwrap();
+        assert_eq!(chain.len(), 11);
+        assert!(
+            chain.num_local_regs <= 3,
+            "dependent adds should need ~2 locals, got {}",
+            chain.num_local_regs
+        );
+    }
+}

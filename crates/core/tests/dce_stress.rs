@@ -1,0 +1,175 @@
+//! Stress/invariant tests for the Dependence Chain Engine: random chain
+//! graphs, random configurations, random synchronization storms. The
+//! engine must never panic, never exceed its window, and keep its queue
+//! bookkeeping consistent — these are exactly the invariants that
+//! same-tick kill/spawn races break first.
+
+use proptest::prelude::*;
+
+use br_core::{
+    BranchRunaheadConfig, BrStats, ChainOp, ChainSrc, ChainTag, DependenceChain,
+    DependenceChainCache, DependenceChainEngine, InitiationMode, PredictionQueues,
+};
+use br_isa::{reg, Cond, CpuState, Machine, MemoryImage, Width};
+use br_mem::{MemoryConfig, MemorySystem};
+
+/// Builds a simple chain: one ALU op + optional load + cmp, with a
+/// configurable tag and target, self-feeding through `r3`.
+fn make_chain(tag_pc: u64, tag_outcome: Option<bool>, branch_pc: u64, with_load: bool) -> DependenceChain {
+    let mut ops = vec![ChainOp::Alu {
+        op: br_isa::AluOp::Add,
+        dst: 1,
+        src1: ChainSrc::Reg(0),
+        src2: ChainSrc::Imm(8),
+    }];
+    let cmp_src = if with_load {
+        ops.push(ChainOp::Load {
+            dst: 2,
+            base: Some(ChainSrc::Reg(1)),
+            index: None,
+            scale: 1,
+            disp: 0,
+            width: Width::B8,
+            signed: false,
+        });
+        ChainSrc::Reg(2)
+    } else {
+        ChainSrc::Reg(1)
+    };
+    ops.push(ChainOp::Cmp {
+        src1: cmp_src,
+        src2: ChainSrc::Imm(0x140),
+    });
+    DependenceChain {
+        tag: ChainTag {
+            pc: tag_pc,
+            outcome: tag_outcome,
+        },
+        branch_pc,
+        cond: Cond::Ult,
+        ops,
+        live_ins: vec![(reg::R3, 0)],
+        live_outs: vec![(reg::R3, ChainSrc::Reg(1))],
+        num_local_regs: 3,
+        guard_terminated: tag_outcome.is_some(),
+        eliminated_uops: 0,
+        source_pcs: std::collections::BTreeSet::new(),
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ChainSpec {
+    tag_pc: u8,
+    outcome: Option<bool>,
+    branch_pc: u8,
+    with_load: bool,
+}
+
+fn chain_spec() -> impl Strategy<Value = ChainSpec> {
+    (
+        0u8..4,
+        prop_oneof![Just(None), Just(Some(true)), Just(Some(false))],
+        0u8..4,
+        any::<bool>(),
+    )
+        .prop_map(|(tag_pc, outcome, branch_pc, with_load)| ChainSpec {
+            tag_pc,
+            outcome,
+            branch_pc,
+            with_load,
+        })
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    Tick(u8),
+    Sync { pc: u8, outcome: bool },
+    FlushAll,
+    Train { pc: u8, taken: bool },
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        6 => (1u8..20).prop_map(Event::Tick),
+        2 => (0u8..4, any::<bool>()).prop_map(|(pc, outcome)| Event::Sync { pc, outcome }),
+        1 => Just(Event::FlushAll),
+        1 => (0u8..4, any::<bool>()).prop_map(|(pc, taken)| Event::Train { pc, taken }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn engine_invariants_hold_under_chaos(
+        chains in prop::collection::vec(chain_spec(), 1..8),
+        events in prop::collection::vec(event(), 1..40),
+        window in 2usize..24,
+        mode_sel in 0u8..3,
+    ) {
+        let machine = Machine::new(MemoryImage::new().into_memory());
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut cache = DependenceChainCache::new(16);
+        let mut queues = PredictionQueues::new(8, 32);
+        let mut stats = BrStats::default();
+
+        for c in &chains {
+            cache.install(make_chain(
+                u64::from(c.tag_pc) * 0x10 + 1,
+                c.outcome,
+                u64::from(c.branch_pc) * 0x10 + 1,
+                c.with_load,
+            ));
+        }
+
+        let mut cfg = BranchRunaheadConfig::mini();
+        cfg.window_instances = window;
+        cfg.initiation = InitiationMode::ALL[mode_sel as usize];
+        let mut dce = DependenceChainEngine::new(cfg);
+
+        let mut cpu = CpuState::new();
+        cpu.regs[reg::R3.index()] = 0x100;
+        let mut cycle = 0u64;
+        for ev in &events {
+            match ev {
+                Event::Tick(n) => {
+                    for _ in 0..*n {
+                        let resps = mem.tick(cycle);
+                        dce.tick(
+                            cycle, &machine, &mut mem, &resps, 2, 4,
+                            &mut cache, &mut queues, &mut stats,
+                        );
+                        cycle += 1;
+                        prop_assert!(
+                            dce.active_instances() <= window,
+                            "window exceeded: {} > {window}",
+                            dce.active_instances()
+                        );
+                    }
+                }
+                Event::Sync { pc, outcome } => {
+                    dce.sync_initiate(
+                        u64::from(*pc) * 0x10 + 1,
+                        *outcome,
+                        &cpu,
+                        &mut cache,
+                        &mut queues,
+                        &mut stats,
+                    );
+                    prop_assert!(dce.active_instances() <= window);
+                }
+                Event::FlushAll => {
+                    dce.flush_all(&mut queues, &mut stats);
+                    queues.clear_all();
+                    prop_assert_eq!(dce.active_instances(), 0);
+                }
+                Event::Train { pc, taken } => {
+                    dce.train_init_counter(u64::from(*pc) * 0x10 + 1, *taken);
+                }
+            }
+        }
+        // Accounting invariants.
+        prop_assert!(stats.instances_completed <= stats.instances_initiated);
+        prop_assert!(stats.instances_flushed <= stats.instances_initiated);
+    }
+}

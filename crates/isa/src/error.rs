@@ -1,0 +1,70 @@
+//! Crate error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::uop::Pc;
+
+/// Errors produced while building or executing programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// The program counter left the program (no `halt`/branch covered it).
+    PcOutOfRange {
+        /// The faulting PC.
+        pc: Pc,
+        /// Program length.
+        len: usize,
+    },
+    /// A branch or jump targets a PC outside the program.
+    BadBranchTarget {
+        /// PC of the branch uop.
+        pc: Pc,
+        /// The invalid target.
+        target: Pc,
+    },
+    /// A label used by the builder was never bound to a position.
+    UnboundLabel {
+        /// The label's index.
+        label: usize,
+    },
+    /// The machine was stepped after halting.
+    Halted,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::PcOutOfRange { pc, len } => {
+                write!(f, "pc {pc:#x} outside program of {len} uops")
+            }
+            IsaError::BadBranchTarget { pc, target } => {
+                write!(f, "branch at {pc:#x} targets invalid pc {target:#x}")
+            }
+            IsaError::UnboundLabel { label } => write!(f, "label {label} was never bound"),
+            IsaError::Halted => write!(f, "machine already halted"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            IsaError::PcOutOfRange { pc: 5, len: 2 },
+            IsaError::BadBranchTarget { pc: 1, target: 99 },
+            IsaError::UnboundLabel { label: 3 },
+            IsaError::Halted,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Byte-addressable data memory with an undo journal.
+//!
+//! The out-of-order frontend executes uops *speculatively* — including down
+//! the wrong path of a mispredicted branch — so the emulator's memory must
+//! support rollback. [`JournaledMemory`] records an undo entry for every
+//! store; a [`JournalMark`] taken at a branch identifies the rollback point,
+//! and [`JournaledMemory::rollback_to`] restores the pre-branch contents.
+//! Marks older than the oldest in-flight branch are released with
+//! [`JournaledMemory::release_before`], which lets the journal stay small.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::uop::Width;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A builder for initial memory contents, used by workload generators.
+#[derive(Clone, Default)]
+pub struct MemoryImage {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl fmt::Debug for MemoryImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryImage")
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl MemoryImage {
+    /// Creates an empty (all-zero) image.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a value of the given width at `addr`.
+    pub fn write(&mut self, addr: u64, width: Width, value: u64) {
+        for i in 0..width.bytes() {
+            self.write_byte(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u64, b: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = b;
+    }
+
+    /// Writes a slice of 64-bit values starting at `addr` (8 bytes apart).
+    pub fn write_u64_slice(&mut self, addr: u64, values: &[u64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write(addr + 8 * i as u64, Width::B8, *v);
+        }
+    }
+
+    /// Writes a slice of 32-bit values starting at `addr` (4 bytes apart).
+    pub fn write_u32_slice(&mut self, addr: u64, values: &[u32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write(addr + 4 * i as u64, Width::B4, u64::from(*v));
+        }
+    }
+
+    /// Reads back a value (useful in tests).
+    #[must_use]
+    pub fn read(&self, addr: u64, width: Width) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width.bytes() {
+            v |= u64::from(self.read_byte(addr + i)) << (8 * i);
+        }
+        v
+    }
+
+    fn read_byte(&self, addr: u64) -> u8 {
+        self.pages
+            .get(&(addr >> PAGE_SHIFT))
+            .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Number of touched 4 KiB pages.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Converts the image into a journaled memory ready for execution.
+    #[must_use]
+    pub fn into_memory(self) -> JournaledMemory {
+        JournaledMemory {
+            pages: self.pages,
+            journal: VecDeque::new(),
+            base: 0,
+        }
+    }
+}
+
+/// A position in the store journal; rollback target for speculation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JournalMark(u64);
+
+#[derive(Clone, Debug)]
+struct UndoEntry {
+    addr: u64,
+    width: Width,
+    old: u64,
+}
+
+/// Byte-addressable sparse memory with store journaling for speculative
+/// execution. See the module docs for the checkpoint/rollback protocol.
+pub struct JournaledMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    journal: VecDeque<UndoEntry>,
+    /// Journal position of `journal[0]`.
+    base: u64,
+}
+
+impl fmt::Debug for JournaledMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JournaledMemory")
+            .field("pages", &self.pages.len())
+            .field("journal_len", &self.journal.len())
+            .finish()
+    }
+}
+
+impl JournaledMemory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryImage::new().into_memory()
+    }
+
+    /// Reads `width` bytes at `addr` (little-endian, zero-extended).
+    #[must_use]
+    pub fn read(&self, addr: u64, width: Width) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width.bytes() {
+            v |= u64::from(self.read_byte(addr + i)) << (8 * i);
+        }
+        v
+    }
+
+    fn read_byte(&self, addr: u64) -> u8 {
+        self.pages
+            .get(&(addr >> PAGE_SHIFT))
+            .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Writes `width` bytes at `addr`, journaling the previous contents.
+    pub fn write(&mut self, addr: u64, width: Width, value: u64) {
+        let old = self.read(addr, width);
+        self.journal.push_back(UndoEntry { addr, width, old });
+        self.write_raw(addr, width, value);
+    }
+
+    fn write_raw(&mut self, addr: u64, width: Width, value: u64) {
+        for i in 0..width.bytes() {
+            let a = addr + i;
+            let page = self
+                .pages
+                .entry(a >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[(a as usize) & (PAGE_SIZE - 1)] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// The current journal position; stores after this call can be undone
+    /// by rolling back to the returned mark.
+    #[must_use]
+    pub fn mark(&self) -> JournalMark {
+        JournalMark(self.base + self.journal.len() as u64)
+    }
+
+    /// Undoes every store performed after `mark` was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` has been released by [`Self::release_before`] —
+    /// that would mean rolling back past committed state, which is a
+    /// simulator bug.
+    pub fn rollback_to(&mut self, mark: JournalMark) {
+        assert!(
+            mark.0 >= self.base,
+            "rollback target {mark:?} was already released (base {})",
+            self.base
+        );
+        while self.base + self.journal.len() as u64 > mark.0 {
+            let e = self
+                .journal
+                .pop_back()
+                .expect("journal length accounted above");
+            self.write_raw(e.addr, e.width, e.old);
+        }
+    }
+
+    /// Releases journal entries older than `mark`; they can no longer be
+    /// rolled back. Call with the mark of the oldest in-flight branch as
+    /// instructions retire.
+    pub fn release_before(&mut self, mark: JournalMark) {
+        while self.base < mark.0 && !self.journal.is_empty() {
+            self.journal.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Number of undoable journal entries currently held.
+    #[must_use]
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+}
+
+impl Default for JournaledMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_round_trip() {
+        let mut img = MemoryImage::new();
+        img.write(0x1000, Width::B8, 0xdead_beef_cafe_f00d);
+        img.write_u32_slice(0x2000, &[1, 2, 3]);
+        assert_eq!(img.read(0x1000, Width::B8), 0xdead_beef_cafe_f00d);
+        assert_eq!(img.read(0x1004, Width::B4), 0xdead_beef);
+        assert_eq!(img.read(0x2004, Width::B4), 2);
+        let mem = img.into_memory();
+        assert_eq!(mem.read(0x1000, Width::B8), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let mem = JournaledMemory::new();
+        assert_eq!(mem.read(0xffff_0000, Width::B8), 0);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = JournaledMemory::new();
+        let addr = (1 << PAGE_SHIFT) - 2;
+        mem.write(addr, Width::B8, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read(addr, Width::B8), 0x1122_3344_5566_7788);
+        assert_eq!(mem.read(addr + 4, Width::B4), 0x1122_3344);
+    }
+
+    #[test]
+    fn rollback_restores_old_values() {
+        let mut mem = JournaledMemory::new();
+        mem.write(0x10, Width::B8, 111);
+        let mark = mem.mark();
+        mem.write(0x10, Width::B8, 222);
+        mem.write(0x18, Width::B4, 333);
+        assert_eq!(mem.read(0x10, Width::B8), 222);
+        mem.rollback_to(mark);
+        assert_eq!(mem.read(0x10, Width::B8), 111);
+        assert_eq!(mem.read(0x18, Width::B4), 0);
+    }
+
+    #[test]
+    fn nested_marks_roll_back_in_order() {
+        let mut mem = JournaledMemory::new();
+        let m0 = mem.mark();
+        mem.write(0x0, Width::B1, 1);
+        let m1 = mem.mark();
+        mem.write(0x0, Width::B1, 2);
+        mem.rollback_to(m1);
+        assert_eq!(mem.read(0x0, Width::B1), 1);
+        mem.rollback_to(m0);
+        assert_eq!(mem.read(0x0, Width::B1), 0);
+    }
+
+    #[test]
+    fn release_bounds_journal_growth() {
+        let mut mem = JournaledMemory::new();
+        for i in 0..100 {
+            mem.write(i * 8, Width::B8, i);
+            let m = mem.mark();
+            mem.release_before(m);
+        }
+        assert_eq!(mem.journal_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already released")]
+    fn rollback_past_release_panics() {
+        let mut mem = JournaledMemory::new();
+        let m0 = mem.mark();
+        mem.write(0, Width::B1, 1);
+        let m1 = mem.mark();
+        mem.release_before(m1);
+        mem.rollback_to(m0);
+    }
+
+    #[test]
+    fn rollback_to_current_mark_is_noop() {
+        let mut mem = JournaledMemory::new();
+        mem.write(0, Width::B8, 42);
+        let m = mem.mark();
+        mem.rollback_to(m);
+        assert_eq!(mem.read(0, Width::B8), 42);
+    }
+}

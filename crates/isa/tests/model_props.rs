@@ -1,0 +1,185 @@
+//! Model-based property tests for the ISA substrate.
+//!
+//! * [`JournaledMemory`] against a plain `HashMap<u64, u8>` reference
+//!   model, under random interleavings of writes, checkpoints, rollbacks
+//!   and releases;
+//! * [`RegSet`] against a `BTreeSet<usize>` reference model;
+//! * emulator determinism: re-running a program from a checkpoint must
+//!   reproduce the identical execution.
+
+use std::collections::{BTreeSet, HashMap};
+
+use proptest::prelude::*;
+
+use br_isa::{
+    reg, ArchReg, Cond, JournalMark, JournaledMemory, Machine, MemOperand, MemoryImage,
+    ProgramBuilder, RegSet, Width,
+};
+
+#[derive(Clone, Debug)]
+enum MemAction {
+    Write { addr: u16, width_sel: u8, value: u64 },
+    Checkpoint,
+    /// Rollback to the i-th (mod live) outstanding mark.
+    Rollback(u8),
+    /// Release everything older than the oldest outstanding mark.
+    ReleaseOldest,
+}
+
+fn mem_action() -> impl Strategy<Value = MemAction> {
+    prop_oneof![
+        4 => (any::<u16>(), 0u8..4, any::<u64>())
+            .prop_map(|(addr, width_sel, value)| MemAction::Write { addr, width_sel, value }),
+        2 => Just(MemAction::Checkpoint),
+        1 => any::<u8>().prop_map(MemAction::Rollback),
+        1 => Just(MemAction::ReleaseOldest),
+    ]
+}
+
+fn width_of(sel: u8) -> Width {
+    match sel % 4 {
+        0 => Width::B1,
+        1 => Width::B2,
+        2 => Width::B4,
+        _ => Width::B8,
+    }
+}
+
+/// Reference model: byte map + snapshots per outstanding mark.
+#[derive(Clone, Default)]
+struct MemModel {
+    bytes: HashMap<u64, u8>,
+}
+
+impl MemModel {
+    fn write(&mut self, addr: u64, width: Width, value: u64) {
+        for i in 0..width.bytes() {
+            self.bytes.insert(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    fn read(&self, addr: u64, width: Width) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width.bytes() {
+            v |= u64::from(*self.bytes.get(&(addr + i)).unwrap_or(&0)) << (8 * i);
+        }
+        v
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn journaled_memory_matches_model(
+        actions in prop::collection::vec(mem_action(), 1..60),
+        probes in prop::collection::vec(any::<u16>(), 8),
+    ) {
+        let mut mem = JournaledMemory::new();
+        let mut model = MemModel::default();
+        // Outstanding marks, oldest first, paired with model snapshots.
+        let mut marks: Vec<(JournalMark, MemModel)> = Vec::new();
+
+        for a in &actions {
+            match a {
+                MemAction::Write { addr, width_sel, value } => {
+                    let w = width_of(*width_sel);
+                    mem.write(u64::from(*addr), w, *value);
+                    model.write(u64::from(*addr), w, *value);
+                }
+                MemAction::Checkpoint => {
+                    marks.push((mem.mark(), model.clone()));
+                }
+                MemAction::Rollback(i) => {
+                    if !marks.is_empty() {
+                        let idx = (*i as usize) % marks.len();
+                        let (mark, snap) = marks[idx].clone();
+                        mem.rollback_to(mark);
+                        model = snap;
+                        // Marks younger than the rollback target die.
+                        marks.truncate(idx + 1);
+                    }
+                }
+                MemAction::ReleaseOldest => {
+                    if !marks.is_empty() {
+                        let (mark, _) = marks.remove(0);
+                        mem.release_before(mark);
+                    }
+                }
+            }
+            // Spot-check agreement after every action.
+            for p in &probes {
+                let w = width_of((*p % 4) as u8);
+                prop_assert_eq!(
+                    mem.read(u64::from(*p), w),
+                    model.read(u64::from(*p), w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regset_matches_btreeset(
+        ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..64),
+    ) {
+        let mut rs = RegSet::empty();
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (raw, insert) in ops {
+            let r = ArchReg::new(raw % 17);
+            if insert {
+                prop_assert_eq!(rs.insert(r), model.insert(r.index()));
+            } else {
+                prop_assert_eq!(rs.remove(r), model.remove(&r.index()));
+            }
+            prop_assert_eq!(rs.len(), model.len());
+            let members: Vec<usize> = rs.iter().map(ArchReg::index).collect();
+            let expect: Vec<usize> = model.iter().copied().collect();
+            prop_assert_eq!(members, expect);
+        }
+    }
+
+    /// Checkpoint/restore determinism: executing N steps, restoring, and
+    /// re-executing must produce bit-identical machine state.
+    #[test]
+    fn machine_restore_is_deterministic(
+        values in prop::collection::vec(any::<u8>(), 16),
+        split in 1u64..40,
+    ) {
+        let mut img = MemoryImage::new();
+        for (i, v) in values.iter().enumerate() {
+            img.write(0x100 + i as u64 * 8, Width::B8, u64::from(*v));
+        }
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(reg::R0, 16);
+        b.mov_imm(reg::R12, 0x100);
+        let top = b.here();
+        b.load(reg::R2, MemOperand::base_index(reg::R12, reg::R0, 8, -8));
+        b.add(reg::R3, reg::R3, reg::R2);
+        b.store(MemOperand::base_disp(reg::R12, 0x80), reg::R3);
+        b.subi(reg::R0, reg::R0, 1);
+        b.cmpi(reg::R0, 0);
+        b.br(Cond::Ne, top);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let mut m = Machine::new(img.into_memory());
+        for _ in 0..split.min(40) {
+            if m.halted() { break; }
+            m.step(&p, None).unwrap();
+        }
+        let cp = m.checkpoint();
+        let mut trace_a = Vec::new();
+        while !m.halted() {
+            trace_a.push(m.step(&p, None).unwrap());
+        }
+        let final_r3 = m.reg(reg::R3);
+
+        m.restore(&cp);
+        let mut trace_b = Vec::new();
+        while !m.halted() {
+            trace_b.push(m.step(&p, None).unwrap());
+        }
+        prop_assert_eq!(trace_a, trace_b);
+        prop_assert_eq!(m.reg(reg::R3), final_r3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Miss Status Holding Registers: outstanding-miss tracking and merging.
+
+use std::collections::HashMap;
+
+/// Result of trying to record a miss in the MSHR file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must issue the lower-level
+    /// request.
+    Allocated,
+    /// An entry for this line already exists; the request was merged and
+    /// will complete when the original fill returns.
+    Merged,
+    /// No entry free; the requester must retry later.
+    Full,
+}
+
+/// A fixed-capacity MSHR file keyed by line address. Each entry carries the
+/// opaque request ids merged onto it.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, Vec<u64>>,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Records a miss on `line` for request `id`.
+    pub fn allocate(&mut self, line: u64, id: u64) -> MshrOutcome {
+        if let Some(ids) = self.entries.get_mut(&line) {
+            ids.push(id);
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, vec![id]);
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the miss on `line`, returning every merged request id.
+    /// Returns an empty vector if no entry exists (e.g. a prefetch fill).
+    pub fn complete(&mut self, line: u64) -> Vec<u64> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Whether `line` has an outstanding miss.
+    #[must_use]
+    pub fn pending(&self, line: u64) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Number of occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no misses are outstanding.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether every entry is occupied.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_complete() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(0x10, 1), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(0x10, 2), MshrOutcome::Merged);
+        assert_eq!(m.allocate(0x20, 3), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(0x30, 4), MshrOutcome::Full);
+        assert!(m.pending(0x10));
+        assert_eq!(m.complete(0x10), vec![1, 2]);
+        assert!(!m.pending(0x10));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.allocate(0x30, 4), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m = MshrFile::new(1);
+        assert!(m.complete(0x99).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

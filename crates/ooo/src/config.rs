@@ -1,0 +1,99 @@
+//! Core configuration (paper Table 1 defaults).
+
+/// Parameters of the out-of-order core.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreConfig {
+    /// Instruction-cache size in bytes (Table 1: 32 KB); 0 disables the
+    /// I-cache model (perfect instruction supply).
+    pub icache_bytes: u64,
+    /// I-cache associativity.
+    pub icache_ways: usize,
+    /// Fetch-stall cycles on an I-cache miss (L2 service).
+    pub icache_miss_latency: u64,
+    /// Uops fetched per cycle (fetch breaks on a taken branch).
+    pub fetch_width: usize,
+    /// Uops issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Uops retired per cycle.
+    pub retire_width: usize,
+    /// Reorder-buffer capacity.
+    pub rob_entries: usize,
+    /// Reservation-station capacity.
+    pub rs_entries: usize,
+    /// Number of ALUs.
+    pub num_alus: usize,
+    /// L1D ports usable per cycle (loads); leftovers go to the DCE.
+    pub load_ports: usize,
+    /// Front-end depth: cycles between fetch and issue eligibility.
+    pub frontend_depth: u64,
+    /// Extra cycles before fetch resumes after a misprediction redirect.
+    pub redirect_latency: u64,
+    /// Store-to-load forwarding latency in cycles.
+    pub forward_latency: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        // Table 1: 4-wide issue, 256-entry ROB, 92-entry RS, 3.2 GHz.
+        CoreConfig {
+            icache_bytes: 32 * 1024,
+            icache_ways: 8,
+            icache_miss_latency: 15,
+            fetch_width: 4,
+            issue_width: 4,
+            retire_width: 4,
+            rob_entries: 256,
+            rs_entries: 92,
+            num_alus: 4,
+            load_ports: 2,
+            frontend_depth: 6,
+            redirect_latency: 4,
+            forward_latency: 2,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or capacity is zero or the RS exceeds the ROB.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0, "fetch width must be nonzero");
+        assert!(self.issue_width > 0, "issue width must be nonzero");
+        assert!(self.retire_width > 0, "retire width must be nonzero");
+        assert!(self.rob_entries > 0, "ROB must be nonzero");
+        assert!(self.rs_entries > 0, "RS must be nonzero");
+        assert!(
+            self.rs_entries <= self.rob_entries,
+            "RS larger than ROB makes no sense"
+        );
+        assert!(self.num_alus > 0, "need at least one ALU");
+        assert!(self.load_ports > 0, "need at least one load port");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = CoreConfig::default();
+        c.validate();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.rob_entries, 256);
+        assert_eq!(c.rs_entries, 92);
+    }
+
+    #[test]
+    #[should_panic(expected = "RS larger than ROB")]
+    fn rs_bigger_than_rob_rejected() {
+        CoreConfig {
+            rs_entries: 300,
+            ..CoreConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,1098 @@
+//! The cycle-level out-of-order core.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use br_isa::{
+    ExecRecord, Force, Machine, MachineCheckpoint, Program, Uop, UopKind,
+    NUM_ARCH_REGS,
+};
+use br_mem::{Cache, CacheConfig, MemResp, MemorySystem, ReqId, ReqSource, RequestError};
+use br_predictor::{ConditionalPredictor, Prediction, PredictorCheckpoint};
+
+use crate::config::CoreConfig;
+use crate::ras::{Btb, ReturnAddressStack};
+use crate::hooks::{
+    BranchOutcome, CoreHooks, FetchedBranch, MispredictInfo, PredictionProvenance, RetiredUop,
+    WrongPathUop,
+};
+use crate::stats::CoreStats;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExecState {
+    /// In the reservation station, waiting for operands / a port.
+    Waiting,
+    /// Issued to a functional unit; completion scheduled.
+    Issued,
+    /// Waiting on the memory system.
+    MemPending(ReqId),
+    /// Result available.
+    Done,
+}
+
+struct BranchCtl {
+    prediction: Prediction,
+    followed: bool,
+    provenance: PredictionProvenance,
+    machine_cp: MachineCheckpoint,
+    predictor_cp: PredictorCheckpoint,
+    writer_cp: [Option<u64>; NUM_ARCH_REGS],
+    ras_cp: ReturnAddressStack,
+    /// Conditional branch (true) vs indirect jump (false): decides how
+    /// resolution and training treat the entry.
+    conditional: bool,
+    mispredicted: bool,
+}
+
+struct RobEntry {
+    /// ROB position identity: contiguous within the ROB. Reused after
+    /// squashes (`next_seq` rewinds on recovery).
+    seq: u64,
+    /// Never-reused identity, guarding against stale completion events
+    /// addressed to a squashed uop whose `seq` was recycled.
+    uid: u64,
+    uop: Uop,
+    rec: ExecRecord,
+    fetch_cycle: u64,
+    state: ExecState,
+    completed_at: u64,
+    deps: Vec<u64>,
+    in_rs: bool,
+    branch: Option<Box<BranchCtl>>,
+}
+
+impl RobEntry {
+    fn wrong_path_summary(&self) -> WrongPathUop {
+        WrongPathUop {
+            pc: self.uop.pc,
+            dsts: self.uop.dsts(),
+            store_addr: self.rec.mem.filter(|m| m.is_store).map(|m| m.addr),
+            branch: if self.uop.is_cond_branch() {
+                self.rec.branch.map(|b| b.followed_taken)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Summary of one core cycle, used by the composition layer to arbitrate
+/// shared resources (D-cache ports) and detect completion.
+#[derive(Clone, Copy, Debug)]
+pub struct CycleReport {
+    /// L1D ports the core left unused this cycle (available to the DCE —
+    /// §4.2: "the main thread is given priority to the D-Cache ports").
+    pub free_load_ports: usize,
+    /// Issue slots the core left unused this cycle (the Core-Only DCE
+    /// variant executes chains in these).
+    pub free_issue_slots: usize,
+    /// Uops retired this cycle.
+    pub retired: usize,
+    /// Whether the program has fully drained.
+    pub done: bool,
+}
+
+/// The out-of-order core. Construct with [`Core::new`], then call
+/// [`Core::tick`] once per cycle, passing the shared memory system's
+/// responses for this cycle.
+pub struct Core {
+    cfg: CoreConfig,
+    program: Program,
+    machine: Machine,
+    predictor: Box<dyn ConditionalPredictor>,
+    rob: VecDeque<RobEntry>,
+    rs_used: usize,
+    last_writer: [Option<u64>; NUM_ARCH_REGS],
+    next_seq: u64,
+    next_uid: u64,
+    cycle: u64,
+    fetch_stall_until: u64,
+    pending_mem: HashMap<ReqId, (u64, u64)>,
+    completions: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    icache: Option<Cache>,
+    ras: ReturnAddressStack,
+    btb: Btb,
+    stats: CoreStats,
+    max_retired: u64,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("cycle", &self.cycle)
+            .field("rob", &self.rob.len())
+            .field("retired", &self.stats.retired_uops)
+            .finish()
+    }
+}
+
+impl Core {
+    /// Creates a core executing `program` on `machine` with the given
+    /// baseline predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    #[must_use]
+    pub fn new(
+        cfg: CoreConfig,
+        program: Program,
+        machine: Machine,
+        predictor: Box<dyn ConditionalPredictor>,
+    ) -> Self {
+        cfg.validate();
+        let icache = (cfg.icache_bytes > 0).then(|| {
+            Cache::new(CacheConfig {
+                size_bytes: cfg.icache_bytes,
+                ways: cfg.icache_ways,
+                line_bytes: 64,
+            })
+        });
+        Core {
+            icache,
+            ras: ReturnAddressStack::new(16),
+            btb: Btb::new(),
+            cfg,
+            program,
+            machine,
+            predictor,
+            rob: VecDeque::new(),
+            rs_used: 0,
+            last_writer: [None; NUM_ARCH_REGS],
+            next_seq: 0,
+            next_uid: 0,
+            cycle: 0,
+            fetch_stall_until: 0,
+            pending_mem: HashMap::new(),
+            completions: BinaryHeap::new(),
+            stats: CoreStats::default(),
+            max_retired: u64::MAX,
+        }
+    }
+
+    /// Caps the simulation at `n` retired uops ([`Core::tick`] reports
+    /// `done` once reached).
+    pub fn set_max_retired(&mut self, n: u64) {
+        self.max_retired = n;
+    }
+
+    /// The functional emulator (registers + data memory), positioned at the
+    /// current *speculative* fetch point.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the program has halted and the pipeline drained.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        (self.machine.halted() && self.rob.is_empty())
+            || self.stats.retired_uops >= self.max_retired
+    }
+
+    fn idx_of(&self, seq: u64) -> Option<usize> {
+        let head = self.rob.front()?.seq;
+        if seq < head {
+            return None;
+        }
+        let idx = (seq - head) as usize;
+        (idx < self.rob.len()).then_some(idx)
+    }
+
+    fn dep_ready(&self, dep: u64, now: u64) -> bool {
+        match self.idx_of(dep) {
+            None => true, // retired (or squashed, which implies retired-or-gone)
+            Some(i) => {
+                let e = &self.rob[i];
+                e.state == ExecState::Done && e.completed_at <= now
+            }
+        }
+    }
+
+    /// Advances the core one cycle. `responses` are this cycle's memory
+    /// completions (the composition layer ticks the shared memory system
+    /// and fans responses out to core and DCE).
+    pub fn tick(
+        &mut self,
+        responses: &[MemResp],
+        mem: &mut MemorySystem,
+        hooks: &mut dyn CoreHooks,
+    ) -> CycleReport {
+        let now = self.cycle;
+
+        self.complete_phase(responses, now, hooks);
+        let retired = self.retire_phase(now, mem, hooks);
+        let (loads_issued, total_issued) = self.issue_phase(now, mem);
+        self.fetch_phase(now, hooks);
+
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        CycleReport {
+            free_load_ports: self.cfg.load_ports.saturating_sub(loads_issued),
+            free_issue_slots: self.cfg.issue_width.saturating_sub(total_issued),
+            retired,
+            done: self.is_done(),
+        }
+    }
+
+    // ---------------------------------------------------------- complete
+
+    fn complete_phase(&mut self, responses: &[MemResp], now: u64, hooks: &mut dyn CoreHooks) {
+        // Memory completions.
+        for r in responses {
+            if let Some((seq, uid)) = self.pending_mem.remove(&r.id) {
+                if let Some(i) = self.idx_of(seq) {
+                    let e = &mut self.rob[i];
+                    if e.uid == uid && e.state == ExecState::MemPending(r.id) {
+                        e.state = ExecState::Done;
+                        e.completed_at = now;
+                    }
+                }
+            }
+        }
+        // Functional-unit completions (heap ordered by cycle then seq, so
+        // the oldest mispredicting branch recovers first).
+        while let Some(Reverse((c, _, _))) = self.completions.peek() {
+            if *c > now {
+                break;
+            }
+            let Reverse((_, seq, uid)) = self.completions.pop().expect("peeked");
+            let Some(i) = self.idx_of(seq) else {
+                continue; // squashed
+            };
+            if self.rob[i].uid != uid || self.rob[i].state != ExecState::Issued {
+                continue;
+            }
+            self.rob[i].state = ExecState::Done;
+            self.rob[i].completed_at = now;
+            // Branch resolution: any control uop whose followed next-PC
+            // differs from its actual next-PC mispredicted (wrong
+            // direction for conditionals, wrong target for indirects).
+            let mispredict = {
+                let e = &self.rob[i];
+                match (&e.branch, e.rec.branch) {
+                    (Some(_), Some(b)) => e.rec.next_pc != b.actual_next,
+                    _ => false,
+                }
+            };
+            if mispredict {
+                self.recover(i, now, hooks);
+            }
+        }
+    }
+
+    fn recover(&mut self, idx: usize, now: u64, hooks: &mut dyn CoreHooks) {
+        self.stats.recoveries += 1;
+        let wrong_path: Vec<WrongPathUop> = self
+            .rob
+            .iter()
+            .skip(idx + 1)
+            .map(RobEntry::wrong_path_summary)
+            .collect();
+        self.stats.squashed_uops += wrong_path.len() as u64;
+
+        // Release resources held by squashed entries.
+        for e in self.rob.iter().skip(idx + 1) {
+            if e.in_rs {
+                self.rs_used -= 1;
+            }
+            if let ExecState::MemPending(id) = e.state {
+                self.pending_mem.remove(&id);
+            }
+        }
+        self.rob.truncate(idx + 1);
+        // Sequence numbers are ROB positions: rewind so they stay
+        // contiguous (uids preserve global uniqueness).
+        self.next_seq = self
+            .rob
+            .back()
+            .map(|e| e.seq + 1)
+            .expect("branch entry present");
+
+        let e = self.rob.back_mut().expect("branch entry present");
+        let bx = e.rec.branch.expect("control uop has a branch record");
+        let (actual, actual_next) = (bx.actual_taken, bx.actual_next);
+        let conditional = e.branch.as_ref().is_some_and(|c| c.conditional);
+        let ctl = e.branch.as_mut().expect("recover only on branches");
+        ctl.mispredicted = true;
+        let info = MispredictInfo {
+            seq: e.seq,
+            pc: e.uop.pc,
+            actual_taken: actual,
+            followed: ctl.followed,
+            base_prediction: ctl.prediction.taken,
+            provenance: ctl.provenance,
+            conditional,
+            cycle: now,
+        };
+
+        // Rewind the emulator to just before the branch and re-execute it
+        // down the correct path.
+        self.machine.restore(&ctl.machine_cp);
+        self.predictor.restore(&ctl.predictor_cp);
+        self.ras.restore(&ctl.ras_cp);
+        self.last_writer = ctl.writer_cp;
+        let pc = e.uop.pc;
+        let force = if conditional {
+            Force::Direction(actual)
+        } else {
+            Force::Target(actual_next)
+        };
+        let rec = self
+            .machine
+            .step(&self.program, force)
+            .expect("re-execution of a fetched branch cannot fault");
+        debug_assert_eq!(rec.pc, pc);
+        e.rec = rec;
+        // The control uop's own register effects re-apply via the re-step
+        // (calls rewrite their link register identically); `writer_cp`
+        // stays correct because re-execution reproduces the same writes.
+        if conditional {
+            self.predictor.update_history(pc, actual);
+        } else {
+            // A corrected return/indirect jump also repairs the RAS view:
+            // model the repair by pushing nothing (the restore above
+            // already resynchronized it) and updating the BTB.
+            self.btb.update(pc, actual_next);
+        }
+
+        self.fetch_stall_until = now + self.cfg.redirect_latency;
+        hooks.on_mispredict(&info, &wrong_path, self.machine.cpu());
+    }
+
+    // ------------------------------------------------------------ retire
+
+    fn retire_phase(&mut self, now: u64, mem: &mut MemorySystem, hooks: &mut dyn CoreHooks) -> usize {
+        let mut retired = 0;
+        while retired < self.cfg.retire_width {
+            let Some(e) = self.rob.front() else { break };
+            if e.state != ExecState::Done || e.completed_at >= now {
+                break;
+            }
+            let e = self.rob.pop_front().expect("checked front");
+            retired += 1;
+            self.stats.retired_uops += 1;
+
+            // Clear the writer map if this uop is still recorded (its
+            // consumers see "ready" via idx_of == None).
+            for r in e.uop.dsts().iter() {
+                if self.last_writer[r.index()] == Some(e.seq) {
+                    self.last_writer[r.index()] = None;
+                }
+            }
+
+            // Stores update cache timing state at retirement.
+            if let Some(m) = e.rec.mem.filter(|m| m.is_store) {
+                // Value correctness is handled functionally; if the MSHRs
+                // are busy we skip only the *timing* side effect.
+                let _ = mem.request(m.addr, true, ReqSource::Core, now);
+            }
+
+            let retired_uop = RetiredUop {
+                seq: e.seq,
+                uop: e.uop,
+                rec: e.rec,
+                cycle: now,
+            };
+            hooks.on_retire(&retired_uop);
+
+            if let Some(ctl) = &e.branch {
+                let actual = e
+                    .rec
+                    .branch
+                    .expect("branch record present")
+                    .actual_taken;
+                self.machine.release(&ctl.machine_cp);
+                if ctl.conditional {
+                    self.stats.retired_branches += 1;
+                    if ctl.mispredicted {
+                        self.stats.mispredicts += 1;
+                    }
+                    let site = self.stats.branch_sites.entry(e.uop.pc).or_default();
+                    site.executed += 1;
+                    if ctl.mispredicted {
+                        site.mispredicted += 1;
+                    }
+                    if ctl.prediction.taken != actual {
+                        site.base_wrong += 1;
+                    }
+                    if ctl.provenance == PredictionProvenance::Dce {
+                        site.dce_provided += 1;
+                        if ctl.mispredicted {
+                            site.dce_wrong += 1;
+                        }
+                    }
+                    self.predictor.train(e.uop.pc, actual, &ctl.prediction);
+                    hooks.on_branch_retire(&BranchOutcome {
+                        seq: e.seq,
+                        pc: e.uop.pc,
+                        taken: actual,
+                        mispredicted: ctl.mispredicted,
+                        base_prediction: ctl.prediction.taken,
+                        provenance: ctl.provenance,
+                        cycle: now,
+                    });
+                } else {
+                    self.stats.indirect_jumps += 1;
+                    if ctl.mispredicted {
+                        self.stats.indirect_mispredicts += 1;
+                    }
+                }
+            }
+            if self.stats.retired_uops >= self.max_retired {
+                break;
+            }
+        }
+        retired
+    }
+
+    // ------------------------------------------------------------- issue
+
+    fn issue_phase(&mut self, now: u64, mem: &mut MemorySystem) -> (usize, usize) {
+        let mut issued = 0;
+        let mut alu_issued = 0;
+        let mut loads_issued = 0;
+        let head_seq = self.rob.front().map_or(0, |e| e.seq);
+
+        for i in 0..self.rob.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let e = &self.rob[i];
+            if e.state != ExecState::Waiting {
+                continue;
+            }
+            if e.fetch_cycle + self.cfg.frontend_depth > now {
+                // Younger entries were fetched even later.
+                break;
+            }
+            let deps_ready = e.deps.iter().all(|&d| self.dep_ready(d, now));
+            if !deps_ready {
+                continue;
+            }
+
+            if e.uop.is_load() {
+                if loads_issued >= self.cfg.load_ports {
+                    continue;
+                }
+                let m = e.rec.mem.expect("loads carry a memory record");
+                // Store-to-load forwarding: find the youngest older store
+                // overlapping this load's bytes.
+                let mut forward: Option<bool> = None; // Some(done?) if match
+                for j in (0..i).rev() {
+                    let s = &self.rob[j];
+                    if let Some(sm) = s.rec.mem.filter(|mm| mm.is_store) {
+                        let overlap = sm.addr < m.addr + m.width.bytes()
+                            && m.addr < sm.addr + sm.width.bytes();
+                        if overlap {
+                            forward = Some(s.state == ExecState::Done);
+                            break;
+                        }
+                    }
+                }
+                let seq = e.seq;
+                let uid = e.uid;
+                match forward {
+                    Some(true) => {
+                        // Forwarded from the store buffer.
+                        let lat = self.cfg.forward_latency;
+                        let e = &mut self.rob[i];
+                        e.state = ExecState::Issued;
+                        e.in_rs = false;
+                        self.rs_used -= 1;
+                        self.completions.push(Reverse((now + lat, seq, uid)));
+                        issued += 1;
+                        loads_issued += 1;
+                        self.stats.issued_uops += 1;
+                        self.stats.issued_loads += 1;
+                    }
+                    Some(false) => {
+                        // Producing store not executed yet: stall.
+                        continue;
+                    }
+                    None => match mem.request(m.addr, false, ReqSource::Core, now) {
+                        Ok(id) => {
+                            let e = &mut self.rob[i];
+                            e.state = ExecState::MemPending(id);
+                            e.in_rs = false;
+                            self.rs_used -= 1;
+                            self.pending_mem.insert(id, (seq, uid));
+                            issued += 1;
+                            loads_issued += 1;
+                            self.stats.issued_uops += 1;
+                            self.stats.issued_loads += 1;
+                        }
+                        Err(RequestError::MshrFull) => continue,
+                    },
+                }
+            } else {
+                if alu_issued >= self.cfg.num_alus {
+                    continue;
+                }
+                let lat = u64::from(e.uop.compute_latency());
+                let seq = e.seq;
+                let uid = e.uid;
+                let e = &mut self.rob[i];
+                e.state = ExecState::Issued;
+                e.in_rs = false;
+                self.rs_used -= 1;
+                self.completions.push(Reverse((now + lat, seq, uid)));
+                issued += 1;
+                alu_issued += 1;
+                self.stats.issued_uops += 1;
+            }
+        }
+        let _ = head_seq;
+        (loads_issued, issued)
+    }
+
+    // ------------------------------------------------------------- fetch
+
+    fn has_unresolved_branch(&self) -> bool {
+        self.rob
+            .iter()
+            .any(|e| e.branch.is_some() && e.state != ExecState::Done)
+    }
+
+    fn fetch_phase(&mut self, now: u64, hooks: &mut dyn CoreHooks) {
+        if now < self.fetch_stall_until {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.rob.len() >= self.cfg.rob_entries || self.rs_used >= self.cfg.rs_entries {
+                break;
+            }
+            if self.machine.halted() {
+                // End of the (possibly wrong-path) instruction stream.
+                break;
+            }
+            let pc = self.machine.pc();
+            // Instruction-cache lookup (uops are 4 bytes apart).
+            if let Some(ic) = &mut self.icache {
+                let iaddr = pc * 4;
+                if !ic.access(iaddr, false).hit {
+                    ic.fill(iaddr, false);
+                    self.stats.icache_misses += 1;
+                    self.fetch_stall_until = now + self.cfg.icache_miss_latency;
+                    break;
+                }
+            }
+            let Some(uop) = self.program.fetch(pc).copied() else {
+                assert!(
+                    self.has_unresolved_branch(),
+                    "fetch fell off the program at pc {pc:#x} on the correct path \
+                     (programs must end in halt)"
+                );
+                break; // wrong path ran off the program: stall until recovery
+            };
+
+            let seq = self.next_seq;
+            let mut branch_ctl = None;
+            let rec = if uop.is_cond_branch() {
+                let prediction = self.predictor.predict(pc);
+                let override_dir = hooks.override_prediction(pc, prediction.taken, now);
+                let followed = override_dir.unwrap_or(prediction.taken);
+                let provenance = if override_dir.is_some() {
+                    PredictionProvenance::Dce
+                } else {
+                    PredictionProvenance::BasePredictor
+                };
+                let machine_cp = self.machine.checkpoint();
+                let predictor_cp = self.predictor.checkpoint();
+                let writer_cp = self.last_writer;
+                let ras_cp = self.ras.checkpoint();
+                let rec = self
+                    .machine
+                    .step(&self.program, Force::Direction(followed))
+                    .expect("fetchable uop cannot fault");
+                self.predictor.update_history(pc, followed);
+                hooks.on_branch_fetch(&FetchedBranch {
+                    seq,
+                    pc,
+                    followed,
+                    base_prediction: prediction.taken,
+                    provenance,
+                    cycle: now,
+                });
+                branch_ctl = Some(Box::new(BranchCtl {
+                    prediction,
+                    followed,
+                    provenance,
+                    machine_cp,
+                    predictor_cp,
+                    writer_cp,
+                    ras_cp,
+                    conditional: true,
+                    mispredicted: false,
+                }));
+                rec
+            } else if uop.is_indirect() {
+                // Returns predict via the RAS; other indirect jumps via
+                // the BTB. Either way fetch *commits* to the predicted
+                // target and recovers like a branch if it was wrong.
+                let predicted = match uop.kind {
+                    UopKind::JumpInd { is_return: true, .. } => self.ras.pop(),
+                    _ => self.btb.predict(pc),
+                };
+                let machine_cp = self.machine.checkpoint();
+                let predictor_cp = self.predictor.checkpoint();
+                let writer_cp = self.last_writer;
+                let ras_cp = self.ras.checkpoint();
+                let rec = self
+                    .machine
+                    .step(&self.program, Force::Target(predicted))
+                    .expect("fetchable uop cannot fault");
+                // Give external machinery a recovery point for this seq
+                // (prediction queues rewind on *any* flush).
+                hooks.on_branch_fetch(&FetchedBranch {
+                    seq,
+                    pc,
+                    followed: true,
+                    base_prediction: true,
+                    provenance: PredictionProvenance::BasePredictor,
+                    cycle: now,
+                });
+                branch_ctl = Some(Box::new(BranchCtl {
+                    prediction: Prediction::fixed(true),
+                    followed: true,
+                    provenance: PredictionProvenance::BasePredictor,
+                    machine_cp,
+                    predictor_cp,
+                    writer_cp,
+                    ras_cp,
+                    conditional: false,
+                    mispredicted: false,
+                }));
+                rec
+            } else {
+                let rec = self
+                    .machine
+                    .step(&self.program, Force::None)
+                    .expect("fetchable uop cannot fault");
+                if let UopKind::Call { .. } = uop.kind {
+                    self.ras.push(pc + 1);
+                }
+                rec
+            };
+
+            let deps: Vec<u64> = uop
+                .srcs()
+                .iter()
+                .filter_map(|r| self.last_writer[r.index()])
+                .collect();
+            for r in uop.dsts().iter() {
+                self.last_writer[r.index()] = Some(seq);
+            }
+
+            let taken_control = rec.branch.is_some_and(|b| b.followed_taken);
+            let was_halt = rec.halt;
+            let uid = self.next_uid;
+            self.next_uid += 1;
+            self.rob.push_back(RobEntry {
+                seq,
+                uid,
+                uop,
+                rec,
+                fetch_cycle: now,
+                state: ExecState::Waiting,
+                completed_at: 0,
+                deps,
+                in_rs: true,
+                branch: branch_ctl,
+            });
+            self.next_seq += 1;
+            self.rs_used += 1;
+            self.stats.fetched_uops += 1;
+            if uop.is_cond_branch() {
+                self.stats.fetched_branches += 1;
+            }
+
+            if taken_control || was_halt {
+                break; // fetch break on taken branch / end of stream
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_isa::{reg, Cond, MemOperand, MemoryImage, ProgramBuilder};
+    use br_mem::MemoryConfig;
+    use br_predictor::Bimodal;
+    use crate::hooks::NullHooks;
+
+    fn run_core(program: Program, image: MemoryImage, max_cycles: u64) -> (Core, MemorySystem) {
+        let machine = Machine::new(image.into_memory());
+        let mut core = Core::new(
+            CoreConfig::default(),
+            program,
+            machine,
+            Box::new(Bimodal::new(12)),
+        );
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut hooks = NullHooks;
+        for c in 0..max_cycles {
+            let resps = mem.tick(c);
+            let report = core.tick(&resps, &mut mem, &mut hooks);
+            if report.done {
+                return (core, mem);
+            }
+        }
+        panic!(
+            "core did not finish in {max_cycles} cycles (retired {})",
+            core.stats().retired_uops
+        );
+    }
+
+    #[test]
+    fn straight_line_program_retires_everything() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(reg::R0, 5);
+        b.addi(reg::R1, reg::R0, 10);
+        b.mul(reg::R2, reg::R1, 3i64);
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), MemoryImage::new(), 1000);
+        assert_eq!(core.stats().retired_uops, 4);
+        assert_eq!(core.machine().reg(reg::R2), 45);
+        assert_eq!(core.stats().mispredicts, 0);
+    }
+
+    #[test]
+    fn counted_loop_architectural_state_correct() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(reg::R0, 50);
+        let top = b.here();
+        b.addi(reg::R1, reg::R1, 7);
+        b.subi(reg::R0, reg::R0, 1);
+        b.cmpi(reg::R0, 0);
+        b.br(Cond::Ne, top);
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), MemoryImage::new(), 20_000);
+        assert_eq!(core.machine().reg(reg::R1), 350);
+        assert_eq!(core.stats().retired_branches, 50);
+        // The final iteration's not-taken exit is mispredictable, but the
+        // body iterations should quickly become correct.
+        assert!(core.stats().mispredicts <= 6);
+    }
+
+    #[test]
+    fn misprediction_recovery_preserves_correctness() {
+        // A data-dependent branch pattern a bimodal predictor gets wrong
+        // half the time; verify the architectural result is still exact.
+        let mut img = MemoryImage::new();
+        let vals: Vec<u64> = (0..64).map(|i| (i * 2654435761u64) >> 7 & 1).collect();
+        img.write_u64_slice(0x1000, &vals);
+        let expected: u64 = vals.iter().sum();
+
+        let mut b = ProgramBuilder::new();
+        let skip = b.new_label();
+        b.mov_imm(reg::R0, 0); // i
+        b.mov_imm(reg::R2, 0); // acc
+        let top = b.here();
+        b.mov_imm(reg::R3, 0x1000);
+        b.load(reg::R4, MemOperand::base_index(reg::R3, reg::R0, 8, 0));
+        b.cmpi(reg::R4, 1);
+        b.br(Cond::Ne, skip);
+        b.addi(reg::R2, reg::R2, 1);
+        b.bind(skip);
+        b.addi(reg::R0, reg::R0, 1);
+        b.cmpi(reg::R0, 64);
+        b.br(Cond::Ne, top);
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), img, 200_000);
+        assert_eq!(core.machine().reg(reg::R2), expected);
+        assert!(
+            core.stats().mispredicts > 5,
+            "the data-dependent branch should mispredict: {}",
+            core.stats().mispredicts
+        );
+        assert!(core.stats().squashed_uops > 0);
+        assert!(
+            core.stats().fetched_uops > core.stats().retired_uops,
+            "wrong-path fetch must be visible"
+        );
+    }
+
+    #[test]
+    fn store_load_forwarding_value_and_timing() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(reg::R0, 0x2000);
+        b.mov_imm(reg::R1, 99);
+        b.store(MemOperand::base_disp(reg::R0, 0), reg::R1);
+        b.load(reg::R2, MemOperand::base_disp(reg::R0, 0));
+        b.addi(reg::R3, reg::R2, 1);
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), MemoryImage::new(), 1000);
+        assert_eq!(core.machine().reg(reg::R3), 100);
+        // Forwarded loads never touch the memory system; core demand
+        // requests = the store's retirement write only.
+        assert!(core.cycle() < 60, "forwarding should avoid DRAM latency");
+    }
+
+    #[test]
+    fn ipc_bounded_by_issue_width() {
+        // A warm loop of independent adds (straight-line code this long
+        // would be dominated by cold I-cache misses instead).
+        let mut b = ProgramBuilder::new();
+        let acc = [reg::R1, reg::R2, reg::R3, reg::R4];
+        b.mov_imm(reg::R0, 200);
+        let top = b.here();
+        for i in 0..24 {
+            let r = acc[i % 4];
+            b.addi(r, r, 1);
+        }
+        b.subi(reg::R0, reg::R0, 1);
+        b.cmpi(reg::R0, 0);
+        b.br(Cond::Ne, top);
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), MemoryImage::new(), 100_000);
+        let ipc = core.stats().ipc();
+        assert!(ipc <= 4.0 + 1e-9);
+        assert!(ipc > 2.0, "independent adds should sustain ILP: {ipc}");
+    }
+
+    #[test]
+    fn cold_icache_limits_straight_line_fetch() {
+        // 2000 uops of straight-line code = ~125 cold I-cache lines; the
+        // front end must pay those misses.
+        let mut b = ProgramBuilder::new();
+        for _ in 0..2000 {
+            b.addi(reg::R1, reg::R1, 1);
+        }
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), MemoryImage::new(), 100_000);
+        assert!(
+            core.stats().icache_misses >= 100,
+            "cold code should miss: {}",
+            core.stats().icache_misses
+        );
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        // A strict dependence chain of multiplies: IPC ~ 1/3 (3-cycle mul).
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(reg::R1, 1);
+        for _ in 0..500 {
+            b.mul(reg::R1, reg::R1, 1i64);
+        }
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), MemoryImage::new(), 100_000);
+        let ipc = core.stats().ipc();
+        assert!(ipc < 0.6, "dependent muls must serialize: {ipc}");
+    }
+
+    #[test]
+    fn cold_load_stalls_pipeline() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(reg::R0, 0x80000);
+        b.load(reg::R1, MemOperand::base_disp(reg::R0, 0));
+        b.addi(reg::R2, reg::R1, 1);
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), MemoryImage::new(), 5000);
+        assert!(
+            core.cycle() > 80,
+            "cold miss should pay DRAM latency: {}",
+            core.cycle()
+        );
+    }
+
+    #[test]
+    fn wrong_path_off_program_end_recovers() {
+        // A branch whose wrong path falls off the program: fetch must
+        // stall, then recover when the branch resolves.
+        let mut img = MemoryImage::new();
+        img.write(0x1000, br_isa::Width::B8, 1);
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label();
+        b.mov_imm(reg::R0, 0x1000);
+        b.load(reg::R1, MemOperand::base_disp(reg::R0, 0));
+        b.cmpi(reg::R1, 0);
+        b.br(Cond::Eq, end); // actually not-taken; predict could go either way
+        b.addi(reg::R2, reg::R2, 5);
+        b.bind(end);
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), img, 5000);
+        assert_eq!(core.machine().reg(reg::R2), 5);
+    }
+
+    /// Regression: sequence numbers are ROB positions and must stay
+    /// contiguous across squashes (`next_seq` rewinds on recovery). The
+    /// original bug desynchronized dependency lookups after the first
+    /// recovery and froze the pipeline within a few hundred uops.
+    #[test]
+    fn sustained_mispredict_storm_makes_progress() {
+        let mut img = MemoryImage::new();
+        let vals: Vec<u64> = (0..256)
+            .map(|i: u64| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 61) & 1)
+            .collect();
+        img.write_u64_slice(0x4000, &vals);
+        let mut b = ProgramBuilder::new();
+        let skip = b.new_label();
+        b.mov_imm(reg::R0, 0);
+        b.mov_imm(reg::R3, 0x4000);
+        let top = b.here();
+        b.and(reg::R5, reg::R0, 255i64);
+        b.load(reg::R6, MemOperand::base_index(reg::R3, reg::R5, 8, 0));
+        b.cmpi(reg::R6, 0);
+        b.br(Cond::Eq, skip); // ~50/50 data-dependent
+        b.addi(reg::R2, reg::R2, 1);
+        b.bind(skip);
+        b.addi(reg::R0, reg::R0, 1);
+        b.cmpi(reg::R0, 4000);
+        b.br(Cond::Ne, top);
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), img, 400_000);
+        assert!(core.stats().recoveries > 200, "storm must actually storm");
+        // run_core only returns when the program drained: reaching here at
+        // all is the regression check. Sanity-check the volume too.
+        assert!(
+            core.stats().retired_uops > 25_000,
+            "suspiciously few uops: {}",
+            core.stats().retired_uops
+        );
+    }
+
+    #[test]
+    fn call_return_with_ras_prediction() {
+        // main: loop { r2 += f(r1) } with f a real called function. After
+        // warmup every return target is RAS-predicted correctly.
+        let mut b = ProgramBuilder::new();
+        let func = b.new_label();
+        let start = b.new_label();
+        b.jmp(start);
+        b.bind(func); // f: r4 = r1 * 3; ret
+        b.mul(reg::R4, reg::R1, 3i64);
+        b.ret(reg::R15);
+        b.bind(start);
+        b.mov_imm(reg::R0, 100);
+        b.mov_imm(reg::R1, 2);
+        let top = b.here();
+        b.call(func, reg::R15);
+        b.add(reg::R2, reg::R2, reg::R4);
+        b.subi(reg::R0, reg::R0, 1);
+        b.cmpi(reg::R0, 0);
+        b.br(Cond::Ne, top);
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), MemoryImage::new(), 50_000);
+        assert_eq!(core.machine().reg(reg::R2), 600);
+        let s = core.stats();
+        assert_eq!(s.indirect_jumps, 100);
+        assert!(
+            s.indirect_mispredicts <= 2,
+            "RAS should predict returns: {} wrong",
+            s.indirect_mispredicts
+        );
+    }
+
+    #[test]
+    fn indirect_jump_btb_learns_stable_target() {
+        // A computed goto that always lands on the same block: the first
+        // encounter mispredicts (cold BTB), later ones hit.
+        let mut b = ProgramBuilder::new();
+        let blk = b.new_label();
+        b.mov_imm(reg::R0, 50); // pc 0
+        let top = b.here();
+        b.mov_imm(reg::R7, 4); // pc 1: target = the block at pc 4
+        b.jmp_reg(reg::R7); // pc 2
+        b.nop(); // pc 3: skipped
+        b.bind(blk); // pc 4
+        b.addi(reg::R2, reg::R2, 1);
+        b.subi(reg::R0, reg::R0, 1);
+        b.cmpi(reg::R0, 0);
+        b.br(Cond::Ne, top);
+        b.halt();
+        let program = b.build().unwrap();
+        // Verify the jump target constant matches the bound label.
+        let (core, _) = run_core(program, MemoryImage::new(), 50_000);
+        assert_eq!(core.machine().reg(reg::R2), 50);
+        let s = core.stats();
+        assert_eq!(s.indirect_jumps, 50);
+        assert!(
+            s.indirect_mispredicts <= 2,
+            "BTB should learn the stable target: {}",
+            s.indirect_mispredicts
+        );
+    }
+
+    #[test]
+    fn wrong_path_through_call_recovers() {
+        // A mispredicted branch whose wrong path executes a call (pushing
+        // a bogus RAS entry and clobbering the link register): recovery
+        // must restore both.
+        let mut img = MemoryImage::new();
+        img.write(0x1000, br_isa::Width::B8, 1);
+        let mut b = ProgramBuilder::new();
+        let func = b.new_label();
+        let start = b.new_label();
+        b.jmp(start);
+        b.bind(func);
+        b.addi(reg::R4, reg::R4, 7);
+        b.ret(reg::R15);
+        b.bind(start);
+        b.mov_imm(reg::R0, 40);
+        b.mov_imm(reg::R3, 0x1000);
+        let top = b.here();
+        let skip = b.new_label();
+        b.and(reg::R5, reg::R0, 7i64);
+        b.load(reg::R6, MemOperand::base_index(reg::R3, reg::R5, 8, 0));
+        b.cmpi(reg::R6, 1);
+        b.br(Cond::Ne, skip); // data-dependent; wrong path may call
+        b.call(func, reg::R15);
+        b.bind(skip);
+        b.subi(reg::R0, reg::R0, 1);
+        b.cmpi(reg::R0, 0);
+        b.br(Cond::Ne, top);
+        b.halt();
+        let (core, _) = run_core(b.build().unwrap(), img, 100_000);
+        // Functional truth: branch taken (call skipped) unless (r0 & 7)==0
+        // AND mem[0x1000]==1 -> call executes for r0 in {40,32,24,16,8}.
+        assert_eq!(core.machine().reg(reg::R4), 5 * 7);
+    }
+
+    #[test]
+    fn max_retired_caps_run() {
+        let mut b = ProgramBuilder::new();
+        let top = b.here();
+        b.addi(reg::R0, reg::R0, 1);
+        b.jmp(top);
+        let program = b.build().unwrap();
+        let machine = Machine::new(MemoryImage::new().into_memory());
+        let mut core = Core::new(
+            CoreConfig::default(),
+            program,
+            machine,
+            Box::new(Bimodal::new(10)),
+        );
+        core.set_max_retired(100);
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut hooks = NullHooks;
+        for c in 0..100_000 {
+            let resps = mem.tick(c);
+            if core.tick(&resps, &mut mem, &mut hooks).done {
+                break;
+            }
+        }
+        assert!(core.stats().retired_uops >= 100);
+        assert!(core.stats().retired_uops < 120);
+    }
+}

@@ -1,0 +1,121 @@
+//! Gshare: global-history XOR PC indexed 2-bit counters.
+
+use br_isa::Pc;
+
+use crate::history::GlobalHistory;
+use crate::traits::{ConditionalPredictor, PredMeta, Prediction, PredictorCheckpoint};
+
+/// A gshare predictor with a speculative global history register.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    log2: u32,
+    hist: GlobalHistory,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `2^log2_entries` counters and a
+    /// matching history length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries` is outside `1..=28`.
+    #[must_use]
+    pub fn new(log2_entries: u32) -> Self {
+        assert!((1..=28).contains(&log2_entries));
+        Gshare {
+            counters: vec![2; 1 << log2_entries],
+            log2: log2_entries,
+            hist: GlobalHistory::new(1024),
+        }
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        let h = self.hist.recent(self.log2.min(64));
+        ((pc ^ h) as usize) & ((1 << self.log2) - 1)
+    }
+}
+
+impl ConditionalPredictor for Gshare {
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+
+    fn predict(&mut self, pc: Pc) -> Prediction {
+        let index = self.index(pc);
+        let c = self.counters[index];
+        Prediction {
+            taken: c >= 2,
+            low_confidence: c == 1 || c == 2,
+            meta: PredMeta::Gshare { index },
+        }
+    }
+
+    fn update_history(&mut self, pc: Pc, taken: bool) {
+        self.hist.push(pc, taken);
+    }
+
+    fn checkpoint(&self) -> PredictorCheckpoint {
+        PredictorCheckpoint::History(self.hist.checkpoint())
+    }
+
+    fn restore(&mut self, cp: &PredictorCheckpoint) {
+        match cp {
+            PredictorCheckpoint::History(h) => self.hist.restore(h),
+            PredictorCheckpoint::None => {}
+            _ => panic!("checkpoint type mismatch for Gshare"),
+        }
+    }
+
+    fn train(&mut self, _pc: Pc, taken: bool, pred: &Prediction) {
+        let PredMeta::Gshare { index } = pred.meta else {
+            panic!("metadata type mismatch for Gshare");
+        };
+        let c = &mut self.counters[index];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn storage_kib(&self) -> f64 {
+        self.counters.len() as f64 * 2.0 / 8.0 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_alternation_via_history() {
+        let mut p = Gshare::new(12);
+        let mut correct = 0;
+        for i in 0..2000 {
+            let taken = i % 2 == 0;
+            let pred = p.predict(0x10);
+            if i > 1000 && pred.taken == taken {
+                correct += 1;
+            }
+            p.update_history(0x10, taken);
+            p.train(0x10, taken, &pred);
+        }
+        assert!(correct >= 950, "gshare should learn alternation: {correct}");
+    }
+
+    #[test]
+    fn history_checkpoint_round_trip() {
+        let mut p = Gshare::new(12);
+        for i in 0..64 {
+            p.update_history(i, i % 3 == 0);
+        }
+        let cp = p.checkpoint();
+        let idx_before = p.index(0x42);
+        for i in 0..32 {
+            p.update_history(100 + i, true);
+        }
+        p.restore(&cp);
+        assert_eq!(p.index(0x42), idx_before);
+    }
+}

@@ -1,0 +1,102 @@
+//! # br-predictor — history-based conditional branch predictors
+//!
+//! The Branch Runahead paper's baseline is a 64 KB TAGE-SC-L (winner of the
+//! CBP-2016 limited-storage track) and its unlimited-storage comparison
+//! point is MTAGE-SC. This crate implements that predictor family from
+//! scratch:
+//!
+//! * [`Tage`] — tagged geometric-history-length predictor with useful-bit
+//!   management, allocation, and alternate-prediction policy,
+//! * [`LoopPredictor`] — the "L" component: confident loop-exit prediction,
+//! * [`StatisticalCorrector`] — the "SC" component: GEHL-style signed
+//!   per-history bias tables that can veto a low-confidence TAGE output,
+//! * [`TageScl`] — the composition, with 64 KB / 80 KB presets and an
+//!   MTAGE-like unlimited preset ([`TageSclConfig`]),
+//! * [`Gshare`] and [`Bimodal`] — simple baselines used by tests.
+//!
+//! All predictors implement [`ConditionalPredictor`], which models the
+//! fetch-time protocol of a real front end: predict, *speculatively* update
+//! history with the followed direction, checkpoint at each branch, restore
+//! the checkpoint on a misprediction, and train at retirement using the
+//! metadata captured at prediction time.
+//!
+//! ```
+//! use br_predictor::{ConditionalPredictor, TageScl, TageSclConfig};
+//!
+//! let mut p = TageScl::new(TageSclConfig::kb64());
+//! // A strongly biased branch becomes predictable after a few outcomes.
+//! for _ in 0..64 {
+//!     let pred = p.predict(0x400);
+//!     p.update_history(0x400, true);
+//!     p.train(0x400, true, &pred);
+//! }
+//! let pred = p.predict(0x400);
+//! assert!(pred.taken);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bimodal;
+mod gshare;
+mod history;
+mod loop_pred;
+mod perceptron;
+mod sc;
+mod tage;
+mod tagescl;
+mod traits;
+
+pub use bimodal::Bimodal;
+pub use gshare::Gshare;
+pub use history::{FoldedHistory, GlobalHistory, HistoryCheckpoint};
+pub use loop_pred::{LoopPredictor, LoopPredictorConfig};
+pub use perceptron::{Perceptron, PerceptronConfig};
+pub use sc::{StatisticalCorrector, StatisticalCorrectorConfig};
+pub use tage::{Tage, TageConfig, TageMeta};
+pub use tagescl::{TageScl, TageSclConfig};
+pub use traits::{ConditionalPredictor, PredMeta, Prediction, PredictorCheckpoint};
+
+/// Constructs a predictor by name. Recognised names: `"tage-sc-l-64kb"`,
+/// `"tage-sc-l-80kb"`, `"mtage-unlimited"`, `"gshare"`, `"bimodal"`.
+///
+/// # Panics
+///
+/// Panics on an unrecognised name (configs are programmer-supplied).
+#[must_use]
+pub fn build_predictor(name: &str) -> Box<dyn ConditionalPredictor> {
+    match name {
+        "tage-sc-l-64kb" => Box::new(TageScl::new(TageSclConfig::kb64())),
+        "tage-sc-l-80kb" => Box::new(TageScl::new(TageSclConfig::kb80())),
+        "mtage-unlimited" => Box::new(TageScl::new(TageSclConfig::unlimited())),
+        "perceptron" => Box::new(Perceptron::new(PerceptronConfig::default())),
+        "gshare" => Box::new(Gshare::new(16)),
+        "bimodal" => Box::new(Bimodal::new(14)),
+        other => panic!("unknown predictor {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_all() {
+        for name in [
+            "tage-sc-l-64kb",
+            "tage-sc-l-80kb",
+            "mtage-unlimited",
+            "perceptron",
+            "gshare",
+            "bimodal",
+        ] {
+            let p = build_predictor(name);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown predictor")]
+    fn factory_rejects_unknown() {
+        let _ = build_predictor("neural-net");
+    }
+}

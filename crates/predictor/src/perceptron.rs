@@ -1,0 +1,248 @@
+//! Hashed perceptron predictor (Jiménez & Lin, HPCA 2001; the
+//! multiperspective variants were CBP-2016 contenders the paper cites).
+//!
+//! Each prediction sums signed weights selected by hashing the PC with
+//! several history segments; the sign is the direction. Training bumps
+//! the selected weights when the prediction was wrong or the magnitude
+//! was below threshold. Like TAGE, perceptrons exploit history
+//! correlation — and like TAGE they saturate on the data-dependent
+//! branches Branch Runahead targets, which is exactly why this predictor
+//! is included as a comparison point.
+
+use br_isa::Pc;
+
+use crate::history::GlobalHistory;
+use crate::traits::{ConditionalPredictor, PredMeta, Prediction, PredictorCheckpoint};
+
+/// Configuration for [`Perceptron`].
+#[derive(Clone, Debug)]
+pub struct PerceptronConfig {
+    /// log2 rows per weight table.
+    pub table_log2: u32,
+    /// History segment lengths, one table per segment (0 = bias table).
+    pub segments: Vec<u32>,
+    /// Weight saturation magnitude.
+    pub weight_max: i16,
+    /// Training threshold (θ); classic value ≈ 1.93·h + 14.
+    pub theta: i32,
+}
+
+impl Default for PerceptronConfig {
+    fn default() -> Self {
+        PerceptronConfig {
+            table_log2: 12,
+            segments: vec![0, 4, 8, 16, 24, 32],
+            weight_max: 127,
+            theta: 76,
+        }
+    }
+}
+
+/// The hashed perceptron predictor.
+pub struct Perceptron {
+    cfg: PerceptronConfig,
+    /// One weight table per segment.
+    tables: Vec<Vec<i16>>,
+    hist: GlobalHistory,
+    folds: Vec<Option<usize>>,
+}
+
+impl std::fmt::Debug for Perceptron {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Perceptron")
+            .field("tables", &self.tables.len())
+            .finish()
+    }
+}
+
+impl Perceptron {
+    /// Builds a perceptron from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.segments` is empty.
+    #[must_use]
+    pub fn new(cfg: PerceptronConfig) -> Self {
+        assert!(!cfg.segments.is_empty(), "need at least the bias table");
+        let mut hist = GlobalHistory::new(1024);
+        let folds = cfg
+            .segments
+            .iter()
+            .map(|&len| (len > 0).then(|| hist.add_folded(len, cfg.table_log2)))
+            .collect();
+        Perceptron {
+            tables: vec![vec![0i16; 1 << cfg.table_log2]; cfg.segments.len()],
+            hist,
+            folds,
+            cfg,
+        }
+    }
+
+    fn indices(&self, pc: Pc) -> Vec<usize> {
+        let mask = (1usize << self.cfg.table_log2) - 1;
+        self.folds
+            .iter()
+            .enumerate()
+            .map(|(t, f)| match f {
+                None => (pc as usize) & mask,
+                Some(h) => {
+                    let folded = u64::from(self.hist.folded(*h));
+                    ((pc.rotate_left(t as u32 * 3) ^ folded) as usize) & mask
+                }
+            })
+            .collect()
+    }
+
+    fn sum(&self, indices: &[usize]) -> i32 {
+        indices
+            .iter()
+            .enumerate()
+            .map(|(t, &i)| i32::from(self.tables[t][i]))
+            .sum()
+    }
+}
+
+impl ConditionalPredictor for Perceptron {
+    fn name(&self) -> &'static str {
+        "perceptron"
+    }
+
+    fn predict(&mut self, pc: Pc) -> Prediction {
+        let indices = self.indices(pc);
+        let sum = self.sum(&indices);
+        Prediction {
+            taken: sum >= 0,
+            low_confidence: sum.abs() < self.cfg.theta / 2,
+            meta: PredMeta::Perceptron { indices, sum },
+        }
+    }
+
+    fn update_history(&mut self, pc: Pc, taken: bool) {
+        self.hist.push(pc, taken);
+    }
+
+    fn checkpoint(&self) -> PredictorCheckpoint {
+        PredictorCheckpoint::History(self.hist.checkpoint())
+    }
+
+    fn restore(&mut self, cp: &PredictorCheckpoint) {
+        match cp {
+            PredictorCheckpoint::History(h) => self.hist.restore(h),
+            _ => panic!("checkpoint type mismatch for Perceptron"),
+        }
+    }
+
+    fn train(&mut self, _pc: Pc, taken: bool, pred: &Prediction) {
+        let PredMeta::Perceptron { indices, sum } = &pred.meta else {
+            panic!("metadata type mismatch for Perceptron");
+        };
+        let wrong = pred.taken != taken;
+        if wrong || sum.abs() <= self.cfg.theta {
+            let max = self.cfg.weight_max;
+            for (t, &i) in indices.iter().enumerate() {
+                let w = &mut self.tables[t][i];
+                if taken {
+                    *w = (*w + 1).min(max);
+                } else {
+                    *w = (*w - 1).max(-max - 1);
+                }
+            }
+        }
+    }
+
+    fn storage_kib(&self) -> f64 {
+        self.tables.len() as f64 * (1 << self.cfg.table_log2) as f64 * 8.0 / 8.0 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(p: &mut Perceptron, pc: Pc, taken: bool) -> bool {
+        let pred = p.predict(pc);
+        let hit = pred.taken == taken;
+        p.update_history(pc, taken);
+        p.train(pc, taken, &pred);
+        hit
+    }
+
+    #[test]
+    fn learns_bias_and_alternation() {
+        let mut p = Perceptron::new(PerceptronConfig::default());
+        let mut hits = 0;
+        for i in 0..2000 {
+            if step(&mut p, 0x40, i % 2 == 0) && i > 500 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 1400, "alternation should be learned: {hits}");
+    }
+
+    #[test]
+    fn learns_linearly_separable_correlation() {
+        // Outcome = XOR-free AND of two history bits is linearly separable.
+        let mut p = Perceptron::new(PerceptronConfig::default());
+        let mut prev = (false, false);
+        let mut hits = 0;
+        let mut total = 0;
+        let mut x = 7u64;
+        for i in 0..6000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a = x & 1 == 1;
+            let b = x & 2 == 2;
+            step(&mut p, 0x100, a);
+            step(&mut p, 0x104, b);
+            let outcome = prev.0 && prev.1;
+            let hit = step(&mut p, 0x108, outcome);
+            prev = (a, b);
+            if i > 3000 {
+                total += 1;
+                if hit {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits as f64 / total as f64 > 0.8,
+            "AND of history bits is learnable: {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn near_chance_on_data_dependent_branch() {
+        let mut p = Perceptron::new(PerceptronConfig::default());
+        let mut x = 99u64;
+        let mut hits = 0;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if step(&mut p, 0x200, x & 4 == 4) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / 4000.0;
+        assert!(
+            (0.38..0.64).contains(&rate),
+            "perceptron also saturates on random outcomes: {rate}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let mut p = Perceptron::new(PerceptronConfig::default());
+        for i in 0..200 {
+            step(&mut p, 0x30 + (i % 3), i % 2 == 0);
+        }
+        let cp = p.checkpoint();
+        let before = p.predict(0x42).taken;
+        for i in 0..50 {
+            p.update_history(i, true);
+        }
+        p.restore(&cp);
+        assert_eq!(p.predict(0x42).taken, before);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for speculative-history management — the correctness
+//! backbone of every predictor here: arbitrary checkpoint/restore
+//! interleavings must leave the folded histories exactly as if the final
+//! surviving outcome sequence had been pushed into a fresh history.
+
+use proptest::prelude::*;
+
+use br_predictor::GlobalHistory;
+
+#[derive(Clone, Debug)]
+enum Action {
+    Push { pc: u8, taken: bool },
+    Checkpoint,
+    /// Restore the i-th (mod live) outstanding checkpoint, discarding
+    /// younger ones.
+    Restore(u8),
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        5 => (any::<u8>(), any::<bool>()).prop_map(|(pc, taken)| Action::Push { pc, taken }),
+        2 => Just(Action::Checkpoint),
+        1 => any::<u8>().prop_map(Action::Restore),
+    ]
+}
+
+fn new_history() -> (GlobalHistory, Vec<usize>) {
+    let mut gh = GlobalHistory::new(512);
+    let folds = vec![
+        gh.add_folded(5, 4),
+        gh.add_folded(17, 7),
+        gh.add_folded(63, 11),
+    ];
+    (gh, folds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    #[test]
+    fn restore_equals_linear_replay(actions in prop::collection::vec(action(), 1..80)) {
+        let (mut gh, folds) = new_history();
+        // The reference: the sequence of (pc, taken) that survives all
+        // restores, maintained directly.
+        let mut surviving: Vec<(u64, bool)> = Vec::new();
+        let mut checkpoints: Vec<(br_predictor::HistoryCheckpoint, usize)> = Vec::new();
+
+        for a in &actions {
+            match a {
+                Action::Push { pc, taken } => {
+                    gh.push(u64::from(*pc), *taken);
+                    surviving.push((u64::from(*pc), *taken));
+                }
+                Action::Checkpoint => {
+                    checkpoints.push((gh.checkpoint(), surviving.len()));
+                }
+                Action::Restore(i) => {
+                    if !checkpoints.is_empty() {
+                        let idx = (*i as usize) % checkpoints.len();
+                        let (cp, len) = checkpoints[idx].clone();
+                        gh.restore(&cp);
+                        surviving.truncate(len);
+                        checkpoints.truncate(idx + 1);
+                    }
+                }
+            }
+        }
+
+        // Replay the surviving sequence into a fresh history; every folded
+        // view and the raw recent bits must agree.
+        let (mut fresh, fresh_folds) = new_history();
+        for (pc, taken) in &surviving {
+            fresh.push(*pc, *taken);
+        }
+        for (h, fh) in folds.iter().zip(&fresh_folds) {
+            prop_assert_eq!(gh.folded(*h), fresh.folded(*fh));
+        }
+        prop_assert_eq!(gh.recent(48), fresh.recent(48));
+        prop_assert_eq!(gh.path(), fresh.path());
+    }
+}

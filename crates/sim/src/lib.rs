@@ -1,0 +1,34 @@
+//! # br-sim — full-system composition and experiment drivers
+//!
+//! Assembles the substrates into the paper's evaluated system: the
+//! out-of-order core (`br-ooo`, Table 1), the shared memory hierarchy
+//! (`br-mem`), a baseline predictor (`br-predictor`), optionally Branch
+//! Runahead (`br-core`, Table 2), running a synthetic benchmark kernel
+//! (`br-workloads`).
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! paper's evaluation (§5): run
+//! `cargo run --release -p br-bench --bin figures -- <exp>` or call the
+//! per-figure functions directly.
+//!
+//! ```no_run
+//! use br_sim::{SimConfig, System};
+//! use br_workloads::{workload_by_name, WorkloadParams};
+//!
+//! let w = workload_by_name("leela_17").unwrap();
+//! let image = w.build(&WorkloadParams::default());
+//! let mut sys = System::new(SimConfig::mini_br(), image);
+//! let result = sys.run();
+//! println!("IPC {:.3}, MPKI {:.2}", result.ipc(), result.mpki());
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiments;
+mod system;
+mod table;
+
+pub use config::{render_table2, PredictorKind, SimConfig};
+pub use system::{RunResult, System};
+pub use table::ExpTable;

@@ -1,0 +1,229 @@
+//! System composition: core + memory + (optional) Branch Runahead.
+
+use br_core::{BranchRunahead, BrStats};
+use br_energy::EnergyEvents;
+use br_isa::Machine;
+use br_mem::{MemorySystem, MemoryStats};
+use br_ooo::{Core, CoreStats, NullHooks};
+use br_workloads::WorkloadImage;
+
+use crate::config::SimConfig;
+
+/// Results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Core statistics.
+    pub core: CoreStats,
+    /// Memory statistics.
+    pub mem: MemoryStats,
+    /// Branch Runahead statistics (when enabled).
+    pub br: Option<BrStats>,
+    /// Configuration name the run used.
+    pub config_name: String,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.core.ipc()
+    }
+
+    /// Branch mispredictions per kilo-uop.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        self.core.mpki()
+    }
+
+    /// MPKI improvement of `self` over `base`, in percent (the paper's
+    /// metric: `(base − this) / base × 100`).
+    #[must_use]
+    pub fn mpki_improvement_pct(&self, base: &RunResult) -> f64 {
+        let b = base.mpki();
+        if b == 0.0 {
+            0.0
+        } else {
+            (b - self.mpki()) / b * 100.0
+        }
+    }
+
+    /// IPC improvement over `base`, in percent.
+    #[must_use]
+    pub fn ipc_improvement_pct(&self, base: &RunResult) -> f64 {
+        let b = base.ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            (self.ipc() - b) / b * 100.0
+        }
+    }
+
+    /// Event counts for the energy model.
+    #[must_use]
+    pub fn energy_events(&self) -> EnergyEvents {
+        let br = self.br.as_ref();
+        EnergyEvents {
+            cycles: self.core.cycles,
+            core_uops: self.core.issued_uops,
+            l1_accesses: self.mem.l1.hits + self.mem.l1.misses,
+            l2_accesses: self.mem.l2.hits + self.mem.l2.misses,
+            dram_accesses: self.mem.dram.reads + self.mem.dram.writes,
+            predictor_lookups: self.core.fetched_branches,
+            dce_uops: br.map_or(0, |b| b.dce_uops),
+            dce_loads: br.map_or(0, |b| b.dce_loads),
+            chain_extractions: br.map_or(0, |b| b.extraction_attempts),
+            br_present: self.br.is_some(),
+        }
+    }
+}
+
+/// A runnable system instance.
+pub struct System {
+    core: Core,
+    mem: MemorySystem,
+    runahead: Option<BranchRunahead>,
+    max_cycles: u64,
+    config_name: String,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("config", &self.config_name)
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds a system from a configuration and a workload image.
+    #[must_use]
+    pub fn new(cfg: SimConfig, image: WorkloadImage) -> Self {
+        let machine = Machine::new(image.memory.into_memory());
+        let mut core = Core::new(cfg.core, image.program, machine, cfg.predictor.build());
+        core.set_max_retired(cfg.max_retired);
+        let runahead = cfg
+            .runahead
+            .map(|rc| BranchRunahead::new(rc, cfg.core.retire_width));
+        let config_name = match &runahead {
+            Some(br) => format!("{}+br-{}", cfg.predictor.name(), br.config().name),
+            None => cfg.predictor.name().to_string(),
+        };
+        System {
+            core,
+            mem: MemorySystem::new(cfg.memory),
+            runahead,
+            max_cycles: cfg.max_cycles,
+            config_name,
+        }
+    }
+
+    /// Runs to completion (program halt, retired-uop budget, or the cycle
+    /// safety cap) and returns the statistics.
+    pub fn run(&mut self) -> RunResult {
+        for cycle in 0..self.max_cycles {
+            let responses = self.mem.tick(cycle);
+            let report = match &mut self.runahead {
+                Some(br) => {
+                    let report = self.core.tick(&responses, &mut self.mem, br);
+                    br.tick(cycle, self.core.machine(), &mut self.mem, &responses, &report);
+                    report
+                }
+                None => {
+                    let mut hooks = NullHooks;
+                    self.core.tick(&responses, &mut self.mem, &mut hooks)
+                }
+            };
+            if report.done {
+                break;
+            }
+        }
+        RunResult {
+            core: self.core.stats().clone(),
+            mem: self.mem.stats(),
+            br: self.runahead.as_ref().map(BranchRunahead::stats),
+            config_name: self.config_name.clone(),
+        }
+    }
+
+    /// The core (for inspection after a run).
+    #[must_use]
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// The Branch Runahead system, if enabled.
+    #[must_use]
+    pub fn runahead(&self) -> Option<&BranchRunahead> {
+        self.runahead.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_workloads::{workload_by_name, WorkloadParams};
+
+    fn small_params() -> WorkloadParams {
+        WorkloadParams {
+            scale: 512,
+            iterations: 1_000_000,
+            seed: 17,
+        }
+    }
+
+    fn run_one(mut cfg: SimConfig, name: &str) -> RunResult {
+        cfg.max_retired = 60_000;
+        let w = workload_by_name(name).unwrap();
+        System::new(cfg, w.build(&small_params())).run()
+    }
+
+    #[test]
+    fn baseline_runs_and_reports() {
+        let r = run_one(SimConfig::baseline(), "leela_17");
+        assert!(r.core.retired_uops >= 60_000);
+        assert!(r.ipc() > 0.1 && r.ipc() <= 4.0);
+        assert!(r.mpki() > 1.0, "leela-like kernel must mispredict");
+        assert!(r.br.is_none());
+    }
+
+    #[test]
+    fn mini_br_beats_baseline_on_leela() {
+        let base = run_one(SimConfig::baseline(), "leela_17");
+        let with = run_one(SimConfig::mini_br(), "leela_17");
+        assert!(with.br.is_some());
+        assert!(
+            with.mpki_improvement_pct(&base) > 15.0,
+            "mini BR should cut MPKI well: base {:.2} vs br {:.2}",
+            base.mpki(),
+            with.mpki()
+        );
+    }
+
+    #[test]
+    fn multi_region_weighted_average() {
+        use crate::experiments::ExperimentSetup;
+        let mut setup = ExperimentSetup::quick();
+        setup.max_retired = 20_000;
+        setup.workloads = vec!["leela_17".into()];
+        let single = setup.run(SimConfig::baseline(), "leela_17");
+        setup.regions = vec![(0, 1.0), (1, 0.5)];
+        let multi = setup.run(SimConfig::baseline(), "leela_17");
+        // Weighted result must lie between the two regions' extremes; a
+        // loose sanity bound: within 50% of the single-region MPKI.
+        assert!(multi.core.retired_uops >= 20_000);
+        assert!(
+            (multi.mpki() - single.mpki()).abs() / single.mpki() < 0.5,
+            "weighted MPKI implausible: {} vs {}",
+            multi.mpki(),
+            single.mpki()
+        );
+    }
+
+    #[test]
+    fn energy_events_populated() {
+        let r = run_one(SimConfig::mini_br(), "bfs");
+        let e = r.energy_events();
+        assert!(e.cycles > 0 && e.core_uops > 0 && e.l1_accesses > 0);
+        assert!(e.br_present);
+    }
+}

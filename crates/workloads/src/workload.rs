@@ -1,0 +1,89 @@
+//! The workload abstraction.
+
+use br_isa::{MemoryImage, Program};
+
+/// Which benchmark suite a kernel mirrors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Suite {
+    /// SPEC CPU2017 Integer Speed.
+    Spec2017,
+    /// SPEC CPU2006 Integer.
+    Spec2006,
+    /// The GAP benchmark suite (graph kernels).
+    Gap,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Spec2017 => write!(f, "SPEC2017"),
+            Suite::Spec2006 => write!(f, "SPEC2006"),
+            Suite::Gap => write!(f, "GAP"),
+        }
+    }
+}
+
+/// Build-time parameters shared by all kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Data-structure scale (table entries, vertices, ...). Kernels clamp
+    /// this to a sane minimum.
+    pub scale: usize,
+    /// Outer-loop iterations before the program halts. Simulations
+    /// normally stop earlier via a retired-uop cap.
+    pub iterations: u64,
+    /// Seed for all pseudo-random data.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            scale: 4096,
+            iterations: 2_000_000,
+            seed: 0xb5ad4ece_da1ce2a9,
+        }
+    }
+}
+
+/// A built workload: the program plus its initial memory.
+#[derive(Debug)]
+pub struct WorkloadImage {
+    /// The micro-op program.
+    pub program: Program,
+    /// Initial data memory.
+    pub memory: MemoryImage,
+}
+
+/// A synthetic benchmark kernel.
+pub trait Workload {
+    /// Short identifier matching the paper's figures (e.g. `"leela_17"`).
+    fn name(&self) -> &'static str;
+
+    /// The suite this kernel mirrors.
+    fn suite(&self) -> Suite;
+
+    /// One-line description of the mirrored branch behaviour.
+    fn description(&self) -> &'static str;
+
+    /// Builds the program and initial memory.
+    fn build(&self, params: &WorkloadParams) -> WorkloadImage;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_sane() {
+        let p = WorkloadParams::default();
+        assert!(p.scale >= 1024);
+        assert!(p.iterations > 0);
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Gap.to_string(), "GAP");
+        assert_eq!(Suite::Spec2017.to_string(), "SPEC2017");
+    }
+}

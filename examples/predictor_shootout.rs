@@ -1,0 +1,64 @@
+//! Standalone predictor comparison (no core, no timing): feeds each
+//! predictor the functional branch stream of a kernel and reports
+//! misprediction rates — showing why history-based prediction saturates
+//! on data-dependent branches no matter the storage budget.
+//!
+//! ```text
+//! cargo run --release --example predictor_shootout [workload]
+//! ```
+
+use branch_runahead::isa::Machine;
+use branch_runahead::predictor::{build_predictor, ConditionalPredictor};
+use branch_runahead::workloads::{workload_by_name, WorkloadParams};
+
+fn measure(p: &mut dyn ConditionalPredictor, name: &str, workload: &str) {
+    let w = workload_by_name(workload).expect("known workload");
+    let image = w.build(&WorkloadParams {
+        scale: 4096,
+        iterations: 20_000,
+        seed: 0xabcd,
+    });
+    let mut m = Machine::new(image.memory.into_memory());
+    let (mut branches, mut wrong) = (0u64, 0u64);
+    while !m.halted() && m.steps() < 3_000_000 {
+        let rec = m.step(&image.program, None).expect("kernel runs");
+        if let Some(b) = rec.branch {
+            if image.program.fetch(rec.pc).expect("fetched").is_cond_branch() {
+                let pred = p.predict(rec.pc);
+                branches += 1;
+                if pred.taken != b.actual_taken {
+                    wrong += 1;
+                }
+                p.update_history(rec.pc, b.actual_taken);
+                p.train(rec.pc, b.actual_taken, &pred);
+            }
+        }
+    }
+    println!(
+        "{:<18}{:>10.1} KiB{:>12} branches{:>9.2}% mispredicted",
+        name,
+        p.storage_kib(),
+        branches,
+        wrong as f64 / branches.max(1) as f64 * 100.0
+    );
+}
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "leela_17".into());
+    println!("functional branch stream: {workload}\n");
+    for name in [
+        "bimodal",
+        "gshare",
+        "perceptron",
+        "tage-sc-l-64kb",
+        "tage-sc-l-80kb",
+        "mtage-unlimited",
+    ] {
+        let mut p = build_predictor(name);
+        measure(p.as_mut(), name, &workload);
+    }
+    println!(
+        "\nNote the saturation: unlimited storage barely moves the needle on\n\
+         data-dependent branches — the paper's Figure 1 in miniature."
+    );
+}

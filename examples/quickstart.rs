@@ -1,0 +1,60 @@
+//! Quickstart: run one benchmark kernel with and without Branch Runahead
+//! and compare MPKI / IPC — the paper's headline experiment in miniature.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload]
+//! ```
+
+use branch_runahead::sim::{SimConfig, System};
+use branch_runahead::workloads::{workload_by_name, WorkloadParams};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "leela_17".into());
+    let Some(w) = workload_by_name(&name) else {
+        eprintln!("unknown workload {name:?}");
+        std::process::exit(1);
+    };
+    let params = WorkloadParams::default();
+    println!("workload: {} — {}", w.name(), w.description());
+
+    let mut cfg = SimConfig::baseline();
+    cfg.max_retired = 300_000;
+    let base = System::new(cfg.clone(), w.build(&params)).run();
+
+    let mut cfg_br = SimConfig::mini_br();
+    cfg_br.max_retired = 300_000;
+    let mut sys = System::new(cfg_br, w.build(&params));
+    let with = sys.run();
+
+    println!("\n{:<22}{:>14}{:>14}", "", "tage-sc-l-64kb", "mini-br");
+    println!(
+        "{:<22}{:>14.3}{:>14.3}",
+        "IPC",
+        base.ipc(),
+        with.ipc()
+    );
+    println!(
+        "{:<22}{:>14.2}{:>14.2}",
+        "MPKI",
+        base.mpki(),
+        with.mpki()
+    );
+    println!(
+        "{:<22}{:>14}{:>14}",
+        "mispredicts", base.core.mispredicts, with.core.mispredicts
+    );
+    println!(
+        "\nBranch Runahead: MPKI {:+.1}%, IPC {:+.1}%  (paper means: -47.5% MPKI, +16.9% IPC)",
+        -with.mpki_improvement_pct(&base),
+        with.ipc_improvement_pct(&base)
+    );
+
+    let br = with.br.expect("BR stats present");
+    println!(
+        "chains extracted: {} (avg {:.1} uops), DCE executed {} uops, {} syncs",
+        br.chains_extracted,
+        br.avg_chain_len(),
+        br.dce_uops,
+        br.syncs
+    );
+}

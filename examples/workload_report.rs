@@ -1,0 +1,77 @@
+//! Profiles the branch character of every workload kernel: per-site
+//! execution counts, taken rates, and outcome flip rates — the evidence
+//! that each kernel really contains the hard-to-predict, data-dependent
+//! branches its SPEC/GAP counterpart is known for.
+//!
+//! ```text
+//! cargo run --release --example workload_report
+//! ```
+
+use std::collections::HashMap;
+
+use branch_runahead::isa::Machine;
+use branch_runahead::workloads::{all_workloads, WorkloadParams};
+
+fn main() {
+    let params = WorkloadParams {
+        scale: 4096,
+        iterations: 5_000,
+        seed: 0x1eaf,
+    };
+    println!(
+        "{:<14}{:>9}{:>10}{:>9}{:>8}{:>8}  hardest-branch profile",
+        "workload", "suite", "uops/iter", "branches", "taken%", "flip%"
+    );
+    for w in all_workloads() {
+        let image = w.build(&params);
+        let mut m = Machine::new(image.memory.into_memory());
+        let mut outcomes: HashMap<u64, Vec<bool>> = HashMap::new();
+        while !m.halted() && m.steps() < 3_000_000 {
+            let rec = m.step(&image.program, None).expect("kernel runs");
+            if let Some(b) = rec.branch {
+                if image
+                    .program
+                    .fetch(rec.pc)
+                    .is_some_and(br_isa_is_cond)
+                {
+                    outcomes.entry(rec.pc).or_default().push(b.actual_taken);
+                }
+            }
+        }
+        // The hardest branch = highest flip rate among frequently executed.
+        let hardest = outcomes
+            .iter()
+            .filter(|(_, v)| v.len() > 200)
+            .map(|(pc, v)| {
+                let taken = v.iter().filter(|t| **t).count() as f64 / v.len() as f64;
+                let flips = v.windows(2).filter(|w| w[0] != w[1]).count() as f64
+                    / (v.len() - 1).max(1) as f64;
+                (*pc, v.len(), taken, flips)
+            })
+            .max_by(|a, b| a.3.total_cmp(&b.3));
+        let uops_per_iter = m.steps() as f64 / params.iterations as f64;
+        match hardest {
+            Some((pc, n, taken, flips)) => println!(
+                "{:<14}{:>9}{:>10.1}{:>9}{:>8.1}{:>8.1}  pc {:#06x} ({} execs)",
+                w.name(),
+                w.suite().to_string(),
+                uops_per_iter,
+                outcomes.len(),
+                taken * 100.0,
+                flips * 100.0,
+                pc,
+                n
+            ),
+            None => println!("{:<14} (no frequent branches?)", w.name()),
+        }
+    }
+    println!(
+        "\nA history predictor caps out near max(taken%, 100-taken%); a flip rate\n\
+         far from 0/100 with taken% near 50 is the 'impossible to predict' zone\n\
+         the paper targets."
+    );
+}
+
+fn br_isa_is_cond(u: &branch_runahead::isa::Uop) -> bool {
+    u.is_cond_branch()
+}

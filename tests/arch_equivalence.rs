@@ -1,0 +1,195 @@
+//! Property-based architectural equivalence: for randomly generated
+//! programs, the out-of-order core (with speculation, wrong-path
+//! execution, recovery, and optionally Branch Runahead steering fetch)
+//! must compute exactly the same architectural state as the functional
+//! emulator. This is the strongest cross-crate invariant in the system.
+
+use proptest::prelude::*;
+
+use branch_runahead::isa::{
+    reg, ArchReg, Cond, Machine, MemOperand, MemoryImage, Program, ProgramBuilder,
+};
+use branch_runahead::mem::{MemoryConfig, MemorySystem};
+use branch_runahead::ooo::{Core, CoreConfig, NullHooks};
+use branch_runahead::predictor::Bimodal;
+use branch_runahead::runahead::{BranchRunahead, BranchRunaheadConfig};
+
+/// One loop-body operation in the generated program.
+#[derive(Clone, Debug)]
+enum GenOp {
+    Add(u8, u8, i16),
+    Sub(u8, u8, u8),
+    Mul(u8, u8),
+    Xor(u8, u8, u8),
+    Shift(u8, u8, u8),
+    Load(u8, u8),
+    Store(u8, u8),
+    /// A data-dependent skip: `if (reg & mask) skip next ops`.
+    Branch(u8, u8, u8),
+    /// A call to a tiny helper function (exercises RAS + link register
+    /// across speculation).
+    CallHelper,
+}
+
+const GPRS: [ArchReg; 6] = [reg::R2, reg::R3, reg::R4, reg::R5, reg::R6, reg::R7];
+// (R7 doubles as the helper function's accumulator; it stays in the
+// compared set so call effects are checked too.)
+
+fn gpr(i: u8) -> ArchReg {
+    GPRS[i as usize % GPRS.len()]
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>(), any::<i16>()).prop_map(|(d, s, i)| GenOp::Add(d, s, i)),
+        3 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b)| GenOp::Sub(d, a, b)),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(d, s)| GenOp::Mul(d, s)),
+        3 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b)| GenOp::Xor(d, a, b)),
+        3 => (any::<u8>(), any::<u8>(), 0u8..6).prop_map(|(d, s, k)| GenOp::Shift(d, s, k)),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(d, a)| GenOp::Load(d, a)),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(v, a)| GenOp::Store(v, a)),
+        3 => (any::<u8>(), 1u8..8, 1u8..4).prop_map(|(r, m, n)| GenOp::Branch(r, m, n)),
+        2 => Just(GenOp::CallHelper),
+    ]
+}
+
+/// Builds a bounded program: `trips` iterations of a loop whose body is
+/// the generated op list. Memory accesses are masked into a small window
+/// so loads and stores alias frequently (stressing forwarding).
+fn build_program(ops: &[GenOp], trips: u8) -> Program {
+    let mut b = ProgramBuilder::new();
+    // Helper function used by CallHelper ops: r7 = r7*3 + 1; ret.
+    let helper = b.new_label();
+    let entry = b.new_label();
+    b.jmp(entry);
+    b.bind(helper);
+    b.mul(reg::R7, reg::R7, 3i64);
+    b.addi(reg::R7, reg::R7, 1);
+    b.ret(reg::R15);
+    b.bind(entry);
+    b.mov_imm(reg::R0, i64::from(trips));
+    b.mov_imm(reg::R12, 0x1000); // data window base
+    for (i, r) in GPRS.iter().enumerate() {
+        b.mov_imm(*r, (i as i64 + 1) * 0x0001_2345);
+    }
+    let top = b.here();
+    let mut pending_skip: Option<(branch_runahead::isa::Label, u8)> = None;
+    for op in ops {
+        if let Some((label, remaining)) = pending_skip {
+            if remaining == 0 {
+                b.bind(label);
+                pending_skip = None;
+            } else {
+                pending_skip = Some((label, remaining - 1));
+            }
+        }
+        match *op {
+            GenOp::Add(d, s, i) => {
+                b.addi(gpr(d), gpr(s), i64::from(i));
+            }
+            GenOp::Sub(d, a, s) => {
+                b.sub(gpr(d), gpr(a), gpr(s));
+            }
+            GenOp::Mul(d, s) => {
+                b.mul(gpr(d), gpr(s), 3i64);
+            }
+            GenOp::Xor(d, a, s) => {
+                b.xor(gpr(d), gpr(a), gpr(s));
+            }
+            GenOp::Shift(d, s, k) => {
+                b.shr(gpr(d), gpr(s), i64::from(k));
+            }
+            GenOp::Load(d, a) => {
+                b.and(reg::R14, gpr(a), 0xf8i64);
+                b.load(gpr(d), MemOperand::base_index(reg::R12, reg::R14, 1, 0));
+            }
+            GenOp::Store(v, a) => {
+                b.and(reg::R14, gpr(a), 0xf8i64);
+                b.store(MemOperand::base_index(reg::R12, reg::R14, 1, 0), gpr(v));
+            }
+            GenOp::Branch(r, m, n) => {
+                if pending_skip.is_none() {
+                    let l = b.new_label();
+                    b.and(reg::R14, gpr(r), i64::from(m));
+                    b.cmpi(reg::R14, 0);
+                    b.br(Cond::Eq, l);
+                    pending_skip = Some((l, n));
+                }
+            }
+            GenOp::CallHelper => {
+                b.call(helper, reg::R15);
+            }
+        }
+    }
+    if let Some((label, _)) = pending_skip {
+        b.bind(label);
+    }
+    b.subi(reg::R0, reg::R0, 1);
+    b.cmpi(reg::R0, 0);
+    b.br(Cond::Ne, top);
+    b.halt();
+    b.build().expect("generated program assembles")
+}
+
+fn reference_state(program: &Program) -> Vec<u64> {
+    let mut m = Machine::new(MemoryImage::new().into_memory());
+    m.run(program, 5_000_000).expect("reference run");
+    assert!(m.halted(), "reference must halt");
+    GPRS.iter().map(|r| m.reg(*r)).collect()
+}
+
+fn core_state(program: &Program, with_br: bool) -> Vec<u64> {
+    let machine = Machine::new(MemoryImage::new().into_memory());
+    let mut core = Core::new(
+        CoreConfig::default(),
+        program.clone(),
+        machine,
+        Box::new(Bimodal::new(10)), // weak predictor => constant recovery stress
+    );
+    let mut mem = MemorySystem::new(MemoryConfig::default());
+    let mut br = with_br.then(|| BranchRunahead::new(BranchRunaheadConfig::mini(), 4));
+    for cycle in 0..3_000_000u64 {
+        let resps = mem.tick(cycle);
+        let report = match &mut br {
+            Some(b) => {
+                let report = core.tick(&resps, &mut mem, b);
+                b.tick(cycle, core.machine(), &mut mem, &resps, &report);
+                report
+            }
+            None => core.tick(&resps, &mut mem, &mut NullHooks),
+        };
+        if report.done {
+            let m = core.machine();
+            return GPRS.iter().map(|r| m.reg(*r)).collect();
+        }
+    }
+    panic!("core did not finish");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn core_matches_functional_reference(
+        ops in prop::collection::vec(gen_op(), 1..24),
+        trips in 1u8..24,
+    ) {
+        let program = build_program(&ops, trips);
+        let expected = reference_state(&program);
+        prop_assert_eq!(&core_state(&program, false), &expected);
+    }
+
+    #[test]
+    fn core_with_branch_runahead_matches_reference(
+        ops in prop::collection::vec(gen_op(), 1..20),
+        trips in 1u8..16,
+    ) {
+        let program = build_program(&ops, trips);
+        let expected = reference_state(&program);
+        prop_assert_eq!(&core_state(&program, true), &expected);
+    }
+}

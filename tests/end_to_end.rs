@@ -1,0 +1,151 @@
+//! End-to-end integration: full-system runs across crates, checking both
+//! architectural correctness and the paper's headline behaviour.
+
+use branch_runahead::isa::{reg, Machine};
+use branch_runahead::sim::{RunResult, SimConfig, System};
+use branch_runahead::workloads::{all_workloads, workload_by_name, WorkloadParams};
+
+fn small_params(iterations: u64) -> WorkloadParams {
+    WorkloadParams {
+        scale: 1024,
+        iterations,
+        seed: 0x5eed,
+    }
+}
+
+fn run(mut cfg: SimConfig, workload: &str, params: &WorkloadParams, retired: u64) -> RunResult {
+    cfg.max_retired = retired;
+    let w = workload_by_name(workload).expect("registered workload");
+    System::new(cfg, w.build(params)).run()
+}
+
+/// The timing simulator must be architecturally transparent: running a
+/// kernel to completion on the full out-of-order core (with wrong-path
+/// execution, recovery, and Branch Runahead steering fetch) must leave
+/// the exact same architectural state as the functional emulator.
+#[test]
+fn simulation_preserves_architecture() {
+    let params = small_params(2_000);
+    for name in ["leela_17", "gcc_06", "bzip2_06", "sssp"] {
+        let w = workload_by_name(name).unwrap();
+        // Functional reference.
+        let image = w.build(&params);
+        let mut reference = Machine::new(image.memory.into_memory());
+        reference.run(&image.program, 10_000_000).unwrap();
+        assert!(reference.halted(), "{name} reference run must halt");
+
+        for cfg in [SimConfig::baseline(), SimConfig::mini_br()] {
+            let label = format!("{name}/{:?}", cfg.runahead.as_ref().map(|c| c.name));
+            let mut cfg = cfg;
+            cfg.max_retired = u64::MAX; // run to halt
+            cfg.max_cycles = 30_000_000;
+            let w = workload_by_name(name).unwrap();
+            let mut sys = System::new(cfg, w.build(&params));
+            let r = sys.run();
+            assert!(
+                r.core.retired_uops > 1000,
+                "{label}: did not finish ({} uops)",
+                r.core.retired_uops
+            );
+            for gpr in [reg::R2, reg::R3, reg::R4, reg::R9] {
+                assert_eq!(
+                    sys.core().machine().reg(gpr),
+                    reference.reg(gpr),
+                    "{label}: architectural register {gpr} diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The headline result (Figure 10's direction): Branch Runahead reduces
+/// MPKI and increases IPC on branch-misprediction-bound kernels.
+#[test]
+fn branch_runahead_improves_most_workloads() {
+    let params = WorkloadParams {
+        scale: 2048,
+        iterations: 1_000_000,
+        seed: 0xabc,
+    };
+    let names = ["leela_17", "mcf_06", "deepsjeng_17", "bfs", "sssp", "pr"];
+    let mut mpki_improvements = Vec::new();
+    let mut ipc_improvements = Vec::new();
+    for name in names {
+        let base = run(SimConfig::baseline(), name, &params, 120_000);
+        let with = run(SimConfig::mini_br(), name, &params, 120_000);
+        assert!(
+            base.mpki() > 3.0,
+            "{name}: baseline should be misprediction-bound, mpki {:.2}",
+            base.mpki()
+        );
+        mpki_improvements.push(with.mpki_improvement_pct(&base));
+        ipc_improvements.push(with.ipc_improvement_pct(&base));
+    }
+    let mean_mpki = mpki_improvements.iter().sum::<f64>() / names.len() as f64;
+    let mean_ipc = ipc_improvements.iter().sum::<f64>() / names.len() as f64;
+    assert!(
+        mean_mpki > 30.0,
+        "mean MPKI improvement too small: {mean_mpki:.1}% ({mpki_improvements:?})"
+    );
+    assert!(
+        mean_ipc > 8.0,
+        "mean IPC improvement too small: {mean_ipc:.1}% ({ipc_improvements:?})"
+    );
+    assert!(
+        mpki_improvements.iter().all(|v| *v > -5.0),
+        "no workload may regress badly: {mpki_improvements:?}"
+    );
+}
+
+/// Figure 10's configuration ordering: Core-Only ≤ Mini ≤ Big (within
+/// noise), and the 80 KB TAGE gains almost nothing.
+#[test]
+fn configuration_ordering_matches_paper() {
+    let params = small_params(1_000_000);
+    let names = ["leela_17", "bfs"];
+    let (mut c, mut m, mut b, mut t80) = (0.0, 0.0, 0.0, 0.0);
+    for name in names {
+        let base = run(SimConfig::baseline(), name, &params, 100_000);
+        c += run(SimConfig::core_only_br(), name, &params, 100_000).mpki_improvement_pct(&base);
+        m += run(SimConfig::mini_br(), name, &params, 100_000).mpki_improvement_pct(&base);
+        b += run(SimConfig::big_br(), name, &params, 100_000).mpki_improvement_pct(&base);
+        t80 += run(SimConfig::tage80(), name, &params, 100_000).mpki_improvement_pct(&base);
+    }
+    let n = names.len() as f64;
+    let (c, m, b, t80) = (c / n, m / n, b / n, t80 / n);
+    assert!(
+        t80 < c && c < m,
+        "ordering broke: 80kb {t80:.1} vs core-only {c:.1} vs mini {m:.1}"
+    );
+    assert!(
+        b > m - 8.0,
+        "big should be at least mini-class: big {b:.1} vs mini {m:.1}"
+    );
+    assert!(
+        t80.abs() < 15.0,
+        "80KB TAGE should barely move MPKI: {t80:.1}%"
+    );
+}
+
+/// Every workload in the registry completes a full-system baseline run.
+#[test]
+fn all_workloads_simulate() {
+    let params = WorkloadParams {
+        scale: 512,
+        iterations: 1_000_000,
+        seed: 3,
+    };
+    for w in all_workloads() {
+        let mut cfg = SimConfig::baseline();
+        cfg.max_retired = 20_000;
+        let mut sys = System::new(cfg, w.build(&params));
+        let r = sys.run();
+        assert!(
+            r.core.retired_uops >= 20_000,
+            "{}: retired only {}",
+            w.name(),
+            r.core.retired_uops
+        );
+        assert!(r.ipc() > 0.05, "{}: IPC collapsed: {}", w.name(), r.ipc());
+    }
+}
