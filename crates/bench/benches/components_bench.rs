@@ -1,10 +1,13 @@
 //! Component micro-benchmarks: the hot per-cycle primitives of the
 //! simulator (predictor lookup, cache access, DRAM tick, chain
 //! extraction, full-system cycle rate).
+//!
+//! Plain self-timing harness (`cargo bench -p br-bench`): each entry runs
+//! a fixed iteration count and reports mean wall-clock per iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeSet;
 use std::hint::black_box;
+use std::time::Instant;
 
 use br_core::{extract_chain, CebRecord, ChainExtractionBuffer};
 use br_isa::Machine;
@@ -13,48 +16,52 @@ use br_ooo::{Core, CoreConfig, NullHooks};
 use br_predictor::{ConditionalPredictor, TageScl, TageSclConfig};
 use br_workloads::{workload_by_name, WorkloadParams};
 
-fn bench_predictor(c: &mut Criterion) {
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
+    println!("{name:<36} {iters:>8} iters  {per_iter:>12.3} us/iter");
+}
+
+fn bench_predictor() {
     let mut p = TageScl::new(TageSclConfig::kb64());
     let mut pc = 0x1000u64;
-    c.bench_function("tage_scl_predict_train", |b| {
-        b.iter(|| {
-            pc = pc.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let addr = 0x1000 + (pc >> 56);
-            let pred = p.predict(addr);
-            let taken = pc & 8 == 8;
-            p.update_history(addr, taken);
-            p.train(addr, taken, &pred);
-            black_box(pred.taken)
-        })
+    bench("tage_scl_predict_train", 100_000, || {
+        pc = pc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let addr = 0x1000 + (pc >> 56);
+        let pred = p.predict(addr);
+        let taken = pc & 8 == 8;
+        p.update_history(addr, taken);
+        p.train(addr, taken, &pred);
+        pred.taken
     });
 }
 
-fn bench_caches(c: &mut Criterion) {
+fn bench_caches() {
     let mut l1 = Cache::new(CacheConfig::l1());
     let mut x = 1u64;
-    c.bench_function("l1_access", |b| {
-        b.iter(|| {
-            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-            black_box(l1.access(x % (1 << 20), false).hit)
-        })
+    bench("l1_access", 100_000, || {
+        x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        l1.access(x % (1 << 20), false).hit
     });
 
     let mut dram = Dram::new(DramConfig::default());
     let mut now = 0u64;
     let mut id = 0u64;
-    c.bench_function("dram_tick_with_traffic", |b| {
-        b.iter(|| {
-            if dram.can_accept() {
-                id += 1;
-                dram.enqueue(id, (id * 4096) % (1 << 28), false, now);
-            }
-            now += 1;
-            black_box(dram.tick(now).len())
-        })
+    bench("dram_tick_with_traffic", 100_000, || {
+        if dram.can_accept() {
+            id += 1;
+            dram.enqueue(id, (id * 4096) % (1 << 28), false, now);
+        }
+        now += 1;
+        dram.tick(now).len()
     });
 }
 
-fn bench_extraction(c: &mut Criterion) {
+fn bench_extraction() {
     // Fill a CEB with a realistic retired stream from the leela kernel.
     let w = workload_by_name("leela_17").unwrap();
     let image = w.build(&WorkloadParams {
@@ -62,7 +69,7 @@ fn bench_extraction(c: &mut Criterion) {
         iterations: 200,
         seed: 1,
     });
-    let mut m = Machine::new(image.memory.into_memory());
+    let mut m = Machine::new(image.memory.to_memory());
     let mut ceb = ChainExtractionBuffer::new(512);
     let mut branch_pc = None;
     while !m.halted() {
@@ -84,52 +91,44 @@ fn bench_extraction(c: &mut Criterion) {
         max_chain_len: 16,
         local_regs: 8,
     };
-    c.bench_function("chain_extraction_walk", |b| {
-        b.iter(|| black_box(extract_chain(&ceb, target, &BTreeSet::new(), &limits).is_ok()))
+    bench("chain_extraction_walk", 10_000, || {
+        extract_chain(&ceb, target, &BTreeSet::new(), &limits).is_ok()
     });
 }
 
-fn bench_full_system(c: &mut Criterion) {
-    c.bench_function("core_cycles_per_sec_leela", |b| {
-        b.iter_with_setup(
-            || {
-                let w = workload_by_name("leela_17").unwrap();
-                let image = w.build(&WorkloadParams {
-                    scale: 512,
-                    iterations: 1_000_000,
-                    seed: 1,
-                });
-                let machine = Machine::new(image.memory.into_memory());
-                let mut core = Core::new(
-                    CoreConfig::default(),
-                    image.program,
-                    machine,
-                    Box::new(TageScl::new(TageSclConfig::kb64())),
-                );
-                core.set_max_retired(5_000);
-                (core, MemorySystem::new(MemoryConfig::default()))
-            },
-            |(mut core, mut mem)| {
-                let mut hooks = NullHooks;
-                for cycle in 0..100_000 {
-                    let resps = mem.tick(cycle);
-                    if core.tick(&resps, &mut mem, &mut hooks).done {
-                        break;
-                    }
-                }
-                black_box(core.stats().retired_uops)
-            },
-        )
+fn bench_full_system() {
+    let w = workload_by_name("leela_17").unwrap();
+    let image = w.build(&WorkloadParams {
+        scale: 512,
+        iterations: 1_000_000,
+        seed: 1,
+    });
+    bench("core_cycles_per_sec_leela", 10, || {
+        let machine = Machine::new(image.memory.to_memory());
+        let mut core = Core::new(
+            CoreConfig::default(),
+            image.program.clone(),
+            machine,
+            Box::new(TageScl::new(TageSclConfig::kb64())),
+        );
+        core.set_max_retired(5_000);
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut hooks = NullHooks;
+        for cycle in 0..100_000 {
+            let resps = mem.tick(cycle);
+            if core.tick(&resps, &mut mem, &mut hooks).done {
+                break;
+            }
+        }
+        core.stats().retired_uops
     });
 
     let _ = ReqSource::Core; // referenced to keep the import meaningful
 }
 
-criterion_group!(
-    benches,
-    bench_predictor,
-    bench_caches,
-    bench_extraction,
-    bench_full_system
-);
-criterion_main!(benches);
+fn main() {
+    bench_predictor();
+    bench_caches();
+    bench_extraction();
+    bench_full_system();
+}

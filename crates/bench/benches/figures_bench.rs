@@ -1,10 +1,24 @@
-//! One Criterion bench per paper table/figure: times a reduced version of
+//! One timing bench per paper table/figure: times a reduced version of
 //! each experiment (the `figures` binary produces the full-size numbers).
+//!
+//! Plain self-timing harness (`cargo bench -p br-bench`): each entry runs
+//! a fixed iteration count and reports mean wall-clock per iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use br_sim::experiments::{self, ExperimentSetup};
 use br_sim::{render_table2, SimConfig};
+
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    println!("{name:<36} {iters:>4} iters  {per_iter:>10.3} ms/iter");
+}
 
 fn tiny_setup() -> ExperimentSetup {
     let mut s = ExperimentSetup::quick();
@@ -13,57 +27,47 @@ fn tiny_setup() -> ExperimentSetup {
     s
 }
 
-fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1_render", |b| {
-        b.iter(|| SimConfig::baseline().render_table1())
+fn main() {
+    bench("table1_render", 1000, || {
+        SimConfig::baseline().render_table1()
     });
-    c.bench_function("table2_render", |b| b.iter(render_table2));
-    c.bench_function("area_report", |b| b.iter(experiments::area_report));
-}
+    bench("table2_render", 1000, render_table2);
+    bench("area_report", 1000, experiments::area_report);
 
-fn bench_figures(c: &mut Criterion) {
     let setup = tiny_setup();
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-
-    g.bench_function("fig1_hard_branch_rates", |b| {
-        b.iter(|| experiments::fig1(&setup))
+    bench("fig1_hard_branch_rates", 3, || {
+        experiments::fig1(&setup).unwrap()
     });
-    g.bench_function("fig2_chain_length", |b| b.iter(|| experiments::fig2(&setup)));
-    g.bench_function("fig3_extra_uops", |b| b.iter(|| experiments::fig3(&setup)));
-    g.bench_function("fig5_affector_guard_fraction", |b| {
-        b.iter(|| experiments::fig5(&setup))
+    bench("fig2_chain_length", 3, || {
+        experiments::fig2(&setup).unwrap()
     });
-    g.bench_function("fig10_ipc_mpki_improvement", |b| {
-        b.iter(|| experiments::fig10(&setup))
+    bench("fig3_extra_uops", 3, || experiments::fig3(&setup).unwrap());
+    bench("fig5_affector_guard_fraction", 3, || {
+        experiments::fig5(&setup).unwrap()
     });
-    g.bench_function("fig11_top_mtage_vs_br", |b| {
-        b.iter(|| experiments::fig11_top(&setup))
+    bench("fig10_ipc_mpki_improvement", 3, || {
+        experiments::fig10(&setup).unwrap()
     });
-    g.bench_function("fig11_bottom_initiation_policies", |b| {
-        b.iter(|| experiments::fig11_bottom(&setup))
+    bench("fig11_top_mtage_vs_br", 3, || {
+        experiments::fig11_top(&setup).unwrap()
     });
-    g.bench_function("fig12_prediction_breakdown", |b| {
-        b.iter(|| experiments::fig12(&setup))
+    bench("fig11_bottom_initiation_policies", 3, || {
+        experiments::fig11_bottom(&setup).unwrap()
     });
-    g.bench_function("fig14_energy", |b| b.iter(|| experiments::fig14(&setup)));
-    g.bench_function("merge_point_accuracy", |b| {
-        b.iter(|| experiments::merge_point(&setup))
+    bench("fig12_prediction_breakdown", 3, || {
+        experiments::fig12(&setup).unwrap()
     });
-    g.bench_function("ablations", |b| b.iter(|| experiments::ablations(&setup)));
-    g.finish();
+    bench("fig14_energy", 3, || experiments::fig14(&setup).unwrap());
+    bench("merge_point_accuracy", 3, || {
+        experiments::merge_point(&setup).unwrap()
+    });
+    bench("ablations", 3, || experiments::ablations(&setup).unwrap());
 
     // Figure 13 sweeps many configurations; bench it with one workload.
     let mut sweep_setup = tiny_setup();
     sweep_setup.workloads = vec!["leela_17".into()];
     sweep_setup.max_retired = 8_000;
-    let mut g = c.benchmark_group("figures_sweep");
-    g.sample_size(10);
-    g.bench_function("fig13_parameter_sweeps", |b| {
-        b.iter(|| experiments::fig13(&sweep_setup))
+    bench("fig13_parameter_sweeps", 2, || {
+        experiments::fig13(&sweep_setup).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_tables, bench_figures);
-criterion_main!(benches);

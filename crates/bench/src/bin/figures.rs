@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--retired N] [--workloads a,b,c] <experiment>|all
+//! figures [--quick] [--json] [--threads N] [--retired N] [--regions K]
+//!         [--workloads a,b,c] <experiment>|all
 //! ```
 
 use std::process::ExitCode;
@@ -11,7 +12,8 @@ use br_sim::experiments::ExperimentSetup;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: figures [--quick] [--json] [--retired N] [--regions K] [--workloads a,b,c] <experiment>|all\n\
+        "usage: figures [--quick] [--json] [--threads N] [--retired N] [--regions K] [--workloads a,b,c] <experiment>|all\n\
+         \x20 --threads N   run simulations on N worker threads (0 = one per CPU; default 1)\n\
          experiments: {}",
         EXPERIMENTS.join(", ")
     );
@@ -22,11 +24,18 @@ fn main() -> ExitCode {
     let mut setup = ExperimentSetup::default();
     let mut targets: Vec<String> = Vec::new();
     let mut json = false;
+    let mut threads = setup.threads;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => setup = ExperimentSetup::quick(),
             "--json" => json = true,
+            "--threads" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                threads = n;
+            }
             "--retired" => {
                 let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
                     return usage();
@@ -34,13 +43,11 @@ fn main() -> ExitCode {
                 setup.max_retired = n;
             }
             "--regions" => {
-                let Some(n) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
                     return usage();
                 };
                 // Paper-style 1..=5 regions with decaying weights.
-                setup.regions = (0..n.max(1))
-                    .map(|i| (i, 1.0 / (i + 1) as f64))
-                    .collect();
+                setup = setup.with_regions(n);
             }
             "--workloads" => {
                 let Some(list) = args.next() else {
@@ -52,6 +59,7 @@ fn main() -> ExitCode {
             name => targets.push(name.to_string()),
         }
     }
+    setup.threads = threads;
     if targets.is_empty() {
         return usage();
     }
@@ -66,11 +74,17 @@ fn main() -> ExitCode {
     }
     for t in targets {
         let started = std::time::Instant::now();
-        if json {
-            println!("{}", run_experiment_json(&t, &setup));
+        let rendered = if json {
+            run_experiment_json(&t, &setup)
         } else {
-            println!("=== {t} ===");
-            println!("{}", run_experiment(&t, &setup));
+            run_experiment(&t, &setup).map(|out| format!("=== {t} ===\n{out}"))
+        };
+        match rendered {
+            Ok(out) => println!("{out}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
         }
         eprintln!("[{t}: {:.1}s]", started.elapsed().as_secs_f64());
     }

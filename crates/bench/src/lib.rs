@@ -7,11 +7,11 @@
 //!
 //!   ```text
 //!   cargo run --release -p br-bench --bin figures -- all
-//!   cargo run --release -p br-bench --bin figures -- fig10
+//!   cargo run --release -p br-bench --bin figures -- --threads 4 fig10
 //!   cargo run --release -p br-bench --bin figures -- --quick fig12
 //!   ```
 //!
-//! * the **Criterion benches** (`cargo bench -p br-bench`) time reduced
+//! * the **timing benches** (`cargo bench -p br-bench`) time reduced
 //!   versions of each experiment plus component micro-benchmarks
 //!   (predictor lookups, cache accesses, chain extraction).
 //!
@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 use br_sim::experiments::{self, ExperimentSetup};
+use br_sim::SimError;
 
 /// Names accepted by the `figures` binary.
 pub const EXPERIMENTS: &[&str] = &[
@@ -42,75 +43,92 @@ pub const EXPERIMENTS: &[&str] = &[
 ];
 
 /// Runs one named experiment and returns its JSON rendering (tables and
-/// static reports are wrapped as a string field).
+/// static reports are wrapped as a string field). Every object carries a
+/// `"seconds"` field: the wall-clock time the experiment took.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the experiment (e.g. an unknown workload
+/// name in the setup).
 ///
 /// # Panics
 ///
-/// Panics on an unknown experiment name.
-#[must_use]
-pub fn run_experiment_json(name: &str, setup: &ExperimentSetup) -> String {
-    match name {
+/// Panics on an unknown *experiment* name; callers validate against
+/// [`EXPERIMENTS`].
+pub fn run_experiment_json(name: &str, setup: &ExperimentSetup) -> Result<String, SimError> {
+    let started = std::time::Instant::now();
+    let body = match name {
         "table1" | "table2" | "area" => {
-            let text = run_experiment(name, setup).replace('\n', "\\n").replace('"', "\\\"");
-            format!("{{\"name\": \"{name}\", \"text\": \"{text}\"}}")
+            let text = run_experiment(name, setup)?
+                .replace('\n', "\\n")
+                .replace('"', "\\\"");
+            format!("\"name\": \"{name}\", \"text\": \"{text}\"")
         }
         "fig10" => {
-            let (mpki, ipc) = experiments::fig10(setup);
+            let (mpki, ipc) = experiments::fig10(setup)?;
             format!(
-                "{{\"name\": \"fig10\", \"mpki\": {}, \"ipc\": {}}}",
+                "\"name\": \"fig10\", \"mpki\": {}, \"ipc\": {}",
                 mpki.to_json(),
                 ipc.to_json()
             )
         }
         other => {
             let t = match other {
-                "fig1" => experiments::fig1(setup),
-                "fig2" => experiments::fig2(setup),
-                "fig3" => experiments::fig3(setup),
-                "fig5" => experiments::fig5(setup),
-                "fig11-top" => experiments::fig11_top(setup),
-                "fig11-bottom" => experiments::fig11_bottom(setup),
-                "fig12" => experiments::fig12(setup),
-                "fig13" => experiments::fig13(setup),
-                "fig14" => experiments::fig14(setup),
-                "merge-point" => experiments::merge_point(setup),
-                "ablations" => experiments::ablations(setup),
+                "fig1" => experiments::fig1(setup)?,
+                "fig2" => experiments::fig2(setup)?,
+                "fig3" => experiments::fig3(setup)?,
+                "fig5" => experiments::fig5(setup)?,
+                "fig11-top" => experiments::fig11_top(setup)?,
+                "fig11-bottom" => experiments::fig11_bottom(setup)?,
+                "fig12" => experiments::fig12(setup)?,
+                "fig13" => experiments::fig13(setup)?,
+                "fig14" => experiments::fig14(setup)?,
+                "merge-point" => experiments::merge_point(setup)?,
+                "ablations" => experiments::ablations(setup)?,
                 _ => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
             };
-            format!("{{\"name\": \"{other}\", \"table\": {}}}", t.to_json())
+            format!("\"name\": \"{other}\", \"table\": {}", t.to_json())
         }
-    }
+    };
+    Ok(format!(
+        "{{{body}, \"seconds\": {:.3}}}",
+        started.elapsed().as_secs_f64()
+    ))
 }
 
 /// Runs one named experiment and returns its rendered output.
 ///
+/// # Errors
+///
+/// Propagates [`SimError`] from the experiment (e.g. an unknown workload
+/// name in the setup).
+///
 /// # Panics
 ///
-/// Panics on an unknown experiment name; callers validate against
+/// Panics on an unknown *experiment* name; callers validate against
 /// [`EXPERIMENTS`].
-#[must_use]
-pub fn run_experiment(name: &str, setup: &ExperimentSetup) -> String {
-    match name {
+pub fn run_experiment(name: &str, setup: &ExperimentSetup) -> Result<String, SimError> {
+    Ok(match name {
         "table1" => br_sim::SimConfig::baseline().render_table1(),
         "table2" => br_sim::render_table2(),
-        "fig1" => experiments::fig1(setup).to_string(),
-        "fig2" => experiments::fig2(setup).to_string(),
-        "fig3" => experiments::fig3(setup).to_string(),
-        "fig5" => experiments::fig5(setup).to_string(),
+        "fig1" => experiments::fig1(setup)?.to_string(),
+        "fig2" => experiments::fig2(setup)?.to_string(),
+        "fig3" => experiments::fig3(setup)?.to_string(),
+        "fig5" => experiments::fig5(setup)?.to_string(),
         "fig10" => {
-            let (mpki, ipc) = experiments::fig10(setup);
+            let (mpki, ipc) = experiments::fig10(setup)?;
             format!("{mpki}\n{ipc}")
         }
-        "fig11-top" => experiments::fig11_top(setup).to_string(),
-        "fig11-bottom" => experiments::fig11_bottom(setup).to_string(),
-        "fig12" => experiments::fig12(setup).to_string(),
-        "fig13" => experiments::fig13(setup).to_string(),
-        "fig14" => experiments::fig14(setup).to_string(),
-        "merge-point" => experiments::merge_point(setup).to_string(),
-        "ablations" => experiments::ablations(setup).to_string(),
+        "fig11-top" => experiments::fig11_top(setup)?.to_string(),
+        "fig11-bottom" => experiments::fig11_bottom(setup)?.to_string(),
+        "fig12" => experiments::fig12(setup)?.to_string(),
+        "fig13" => experiments::fig13(setup)?.to_string(),
+        "fig14" => experiments::fig14(setup)?.to_string(),
+        "merge-point" => experiments::merge_point(setup)?.to_string(),
+        "ablations" => experiments::ablations(setup)?.to_string(),
         "area" => experiments::area_report(),
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -121,9 +139,25 @@ mod tests {
     fn static_experiments_render() {
         let setup = ExperimentSetup::quick();
         for name in ["table1", "table2", "area"] {
-            let out = run_experiment(name, &setup);
+            let out = run_experiment(name, &setup).unwrap();
             assert!(!out.is_empty(), "{name} produced nothing");
         }
+    }
+
+    #[test]
+    fn json_carries_timing() {
+        let setup = ExperimentSetup::quick();
+        let out = run_experiment_json("table1", &setup).unwrap();
+        assert!(out.contains("\"seconds\": "), "missing timing: {out}");
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error_not_a_panic() {
+        let mut setup = ExperimentSetup::quick();
+        setup.workloads = vec!["nope".into()];
+        let err = run_experiment("fig2", &setup).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+        assert!(err.to_string().contains("leela_17"));
     }
 
     #[test]

@@ -69,8 +69,7 @@ impl PoisonDetector {
             // The affector branch itself is also checked for sourcing
             // poison ("Any branch, including the merge predicted branch,
             // that sources poison is an affectee") before terminating.
-            let self_affected = u.uop.pc == self.affector_pc
-                && self.sources_poison(u);
+            let self_affected = u.uop.pc == self.affector_pc && self.sources_poison(u);
             self.done = true;
             if self_affected {
                 self.affectees.push(self.affector_pc);

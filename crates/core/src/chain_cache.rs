@@ -49,9 +49,11 @@ impl DependenceChainCache {
         self.tick += 1;
         self.installs += 1;
         let arc = Arc::new(chain);
-        if let Some(e) = self.entries.iter_mut().find(|e| {
-            e.chain.tag == arc.tag && e.chain.branch_pc == arc.branch_pc
-        }) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.chain.tag == arc.tag && e.chain.branch_pc == arc.branch_pc)
+        {
             e.chain = Arc::clone(&arc);
             e.lru = self.tick;
             return arc;
@@ -94,7 +96,9 @@ impl DependenceChainCache {
     /// (no LRU side effects).
     #[must_use]
     pub fn has_match(&self, pc: Pc, outcome: bool) -> bool {
-        self.entries.iter().any(|e| e.chain.tag.matches(pc, outcome))
+        self.entries
+            .iter()
+            .any(|e| e.chain.tag.matches(pc, outcome))
     }
 
     /// Whether some cached chain pre-computes the branch at `pc` (i.e.

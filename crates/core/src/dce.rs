@@ -72,8 +72,7 @@ fn resolve_src(
 }
 
 fn build_dataflow(chain: &DependenceChain) -> DataflowView {
-    let live_in_of: HashMap<u8, ArchReg> =
-        chain.live_ins.iter().map(|(a, l)| (*l, *a)).collect();
+    let live_in_of: HashMap<u8, ArchReg> = chain.live_ins.iter().map(|(a, l)| (*l, *a)).collect();
     let mut writer: HashMap<u8, usize> = HashMap::new();
     let mut srcs = Vec::with_capacity(chain.ops.len());
     let mut flags_op = usize::MAX;
@@ -178,9 +177,7 @@ impl Instance {
         match s {
             SrcRef::Imm(v) => Some(v as u64),
             SrcRef::LiveIn(r) => self.ctx_ready[r.index()].then(|| self.ctx[r.index()]),
-            SrcRef::Op(i) => {
-                (self.op_state[i] == OpState::Done).then(|| self.op_result[i])
-            }
+            SrcRef::Op(i) => (self.op_state[i] == OpState::Done).then(|| self.op_result[i]),
         }
     }
 
@@ -413,9 +410,7 @@ impl DependenceChainEngine {
         stats.syncs += 1;
         let chains = cache.lookup(pc, outcome);
         for chain in chains {
-            if let Initiate::Ok(id) =
-                self.initiate(&chain, None, Some(cpu), None, queues, stats)
-            {
+            if let Initiate::Ok(id) = self.initiate(&chain, None, Some(cpu), None, queues, stats) {
                 self.spawn_early(id, cache, queues, stats);
             }
         }
@@ -517,7 +512,9 @@ impl DependenceChainEngine {
                     ) {
                         Initiate::Ok(nid) => {
                             if let Some(pidx) = self.find(pid) {
-                                self.instances[pidx].spawned.push((key, Some(required), nid));
+                                self.instances[pidx]
+                                    .spawned
+                                    .push((key, Some(required), nid));
                             }
                             work.push(nid);
                             continue;
@@ -526,7 +523,9 @@ impl DependenceChainEngine {
                     }
                 }
                 if let Some(pidx) = self.find(pid) {
-                    self.instances[pidx].placeholders.push((chain, slot, required));
+                    self.instances[pidx]
+                        .placeholders
+                        .push((chain, slot, required));
                 } else {
                     queues.kill(chain.branch_pc, slot);
                 }
@@ -589,15 +588,13 @@ impl DependenceChainEngine {
                 continue;
             }
             let key = Instance::chain_key(&chain);
-            let mut attempt =
-                self.initiate_with_slot(&chain, Some(id), None, None, slot, stats);
+            let mut attempt = self.initiate_with_slot(&chain, Some(id), None, None, slot, stats);
             if attempt == Initiate::WindowFull {
                 // Outcome-triggered successors are architecturally required
                 // for continuous execution; preempt the youngest (furthest
                 // ahead, least valuable) speculative instance.
                 if self.preempt_youngest(id, queues, stats) {
-                    attempt =
-                        self.initiate_with_slot(&chain, Some(id), None, None, slot, stats);
+                    attempt = self.initiate_with_slot(&chain, Some(id), None, None, slot, stats);
                 }
             }
             match attempt {
@@ -622,8 +619,7 @@ impl DependenceChainEngine {
                 .lookup(trigger_pc, outcome)
                 .into_iter()
                 .filter(|c| {
-                    self.cfg.initiation == InitiationMode::NonSpeculative
-                        || c.tag.is_wildcard()
+                    self.cfg.initiation == InitiationMode::NonSpeculative || c.tag.is_wildcard()
                 })
                 .collect();
             for chain in matching {
@@ -641,8 +637,7 @@ impl DependenceChainEngine {
                     continue;
                 }
                 let room = self.cfg.initiation == InitiationMode::NonSpeculative
-                    || self.active_instances() + self.spawn_reserve()
-                        <= self.cfg.window_instances;
+                    || self.active_instances() + self.spawn_reserve() <= self.cfg.window_instances;
                 let attempt = if room {
                     self.initiate(&chain, Some(id), None, None, queues, stats)
                 } else {
@@ -734,8 +729,7 @@ impl DependenceChainEngine {
                             _ => (Width::B8, false),
                         };
                         let raw = machine.memory().read(addr, width);
-                        inst.op_result[op_idx] =
-                            if signed { width.sign_extend(raw) } else { raw };
+                        inst.op_result[op_idx] = if signed { width.sign_extend(raw) } else { raw };
                         inst.op_state[op_idx] = OpState::Done;
                     }
                 }
@@ -761,8 +755,7 @@ impl DependenceChainEngine {
                 if inst.ctx_ready[r.index()] {
                     continue;
                 }
-                let needed = want_all
-                    || inst.chain.live_in_local(r).is_some();
+                let needed = want_all || inst.chain.live_in_local(r).is_some();
                 if !needed {
                     continue;
                 }
@@ -833,7 +826,10 @@ impl DependenceChainEngine {
                         .map(|_| inst.value_of(*it.next().expect("base ref")).expect("ready"))
                         .unwrap_or(0);
                     let x = index
-                        .map(|_| inst.value_of(*it.next().expect("index ref")).expect("ready"))
+                        .map(|_| {
+                            inst.value_of(*it.next().expect("index ref"))
+                                .expect("ready")
+                        })
                         .unwrap_or(0);
                     let addr = b
                         .wrapping_add(x.wrapping_mul(u64::from(scale)))
@@ -1086,7 +1082,13 @@ mod tests {
         cpu.regs[reg::R3.index()] = 0x100;
         dce.sync_initiate(0x50, true, &cpu, &mut cache, &mut queues, &mut stats);
         run_engine(
-            &mut dce, &machine, &mut mem, &mut cache, &mut queues, &mut stats, 600,
+            &mut dce,
+            &machine,
+            &mut mem,
+            &mut cache,
+            &mut queues,
+            &mut stats,
+            600,
         );
 
         assert!(stats.instances_completed >= 3, "chain must self-sustain");
@@ -1119,7 +1121,13 @@ mod tests {
         // Spawning cascades immediately but must stop at the window bound.
         assert!(dce.active_instances() <= 4);
         run_engine(
-            &mut dce, &machine, &mut mem, &mut cache, &mut queues, &mut stats, 200,
+            &mut dce,
+            &machine,
+            &mut mem,
+            &mut cache,
+            &mut queues,
+            &mut stats,
+            200,
         );
         assert!(dce.active_instances() <= 4);
         assert!(stats.instances_completed > 4, "instances recycle");
@@ -1171,7 +1179,13 @@ mod tests {
         // Only the sync instance exists until it completes.
         assert_eq!(dce.active_instances(), 1);
         run_engine(
-            &mut dce, &machine, &mut mem, &mut cache, &mut queues, &mut stats, 300,
+            &mut dce,
+            &machine,
+            &mut mem,
+            &mut cache,
+            &mut queues,
+            &mut stats,
+            300,
         );
         assert!(stats.instances_completed >= 2, "successors follow serially");
     }
@@ -1241,7 +1255,9 @@ mod tests {
         let mut expected_b = Vec::new();
         let mut x = 0xabcdefu64;
         for i in 1..40u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a_taken = x & 0x10 != 0; // Eq outcome
             let b_taken = x & 0x20 != 0;
             data.push((0x100 + i * 8, u64::from(!a_taken)));
@@ -1268,7 +1284,17 @@ mod tests {
         // Drive until B produced everything it can.
         for c in 0..6000 {
             let resps = mem.tick(c);
-            dce.tick(c, &machine, &mut mem, &resps, 2, 4, &mut cache, &mut queues, &mut stats);
+            dce.tick(
+                c,
+                &machine,
+                &mut mem,
+                &resps,
+                2,
+                4,
+                &mut cache,
+                &mut queues,
+                &mut stats,
+            );
         }
         // Consume B's queue: every *filled* slot must match the A-NT
         // subsequence at its position. Late slots (instances preempted by
@@ -1324,7 +1350,17 @@ mod tests {
         dce.sync_initiate(0x50, true, &cpu, &mut cache, &mut queues, &mut stats);
         for c in 0..1500 {
             let resps = mem.tick(c);
-            dce.tick(c, &machine, &mut mem, &resps, 2, 4, &mut cache, &mut queues, &mut stats);
+            dce.tick(
+                c,
+                &machine,
+                &mut mem,
+                &resps,
+                2,
+                4,
+                &mut cache,
+                &mut queues,
+                &mut stats,
+            );
         }
         // A is always taken (mem is zero -> cmp 0 -> Eq -> taken), so B
         // never executes; every B slot must have been cancelled.
@@ -1332,6 +1368,9 @@ mod tests {
             crate::pqueue::FetchVerdict::Inactive | crate::pqueue::FetchVerdict::NoQueue => {}
             v => panic!("B queue must be empty after cancellations, got {v:?}"),
         }
-        assert!(stats.instances_flushed > 0, "speculation must have fired and been killed");
+        assert!(
+            stats.instances_flushed > 0,
+            "speculation must have fired and been killed"
+        );
     }
 }

@@ -182,7 +182,7 @@ pub fn extract_chain(
     // ---------------------------------------------------- backward walk
     let mut search: RegSet = target.srcs;
     let mut collected: Vec<usize> = Vec::new(); // indices, youngest-first
-    // Loads awaiting an older matching store: (addr, width, load idx).
+                                                // Loads awaiting an older matching store: (addr, width, load idx).
     let mut pending_loads: Vec<(u64, u64, usize)> = Vec::new();
     // load idx -> store idx, for elimination.
     let mut pairs: HashMap<usize, usize> = HashMap::new();
@@ -317,7 +317,12 @@ pub fn extract_chain(
                     });
                 }
             }
-            UopKind::Alu { op, dst, src1, src2 } => {
+            UopKind::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let s1 = rn.read(src1);
                 let s2 = rn.read_operand(src2);
                 let d = rn.write(dst);
@@ -374,13 +379,9 @@ pub fn extract_chain(
         .collect();
 
     // ------------------------------------ local register compaction
-    let (ops, live_ins, live_outs, num_locals) = compact_locals(
-        &ops_v,
-        &rn.live_ins,
-        &live_outs_v,
-        limits.local_regs,
-    )
-    .ok_or(ExtractOutcome::TooManyRegs)?;
+    let (ops, live_ins, live_outs, num_locals) =
+        compact_locals(&ops_v, &rn.live_ins, &live_outs_v, limits.local_regs)
+            .ok_or(ExtractOutcome::TooManyRegs)?;
 
     let source_pcs: BTreeSet<Pc> = collected.iter().map(|&i| recs[i].uop.pc).collect();
     Ok(DependenceChain {
@@ -453,9 +454,9 @@ fn compact_locals(
     let mut in_use: Vec<(usize, LocalReg)> = Vec::new(); // (virtual, phys)
 
     let alloc = |v: usize,
-                     mapping: &mut HashMap<usize, LocalReg>,
-                     free: &mut Vec<LocalReg>,
-                     in_use: &mut Vec<(usize, LocalReg)>|
+                 mapping: &mut HashMap<usize, LocalReg>,
+                 free: &mut Vec<LocalReg>,
+                 in_use: &mut Vec<(usize, LocalReg)>|
      -> Option<LocalReg> {
         let p = free.pop()?;
         mapping.insert(v, p);
@@ -469,9 +470,9 @@ fn compact_locals(
     }
 
     let release_dead = |at: usize,
-                            free: &mut Vec<LocalReg>,
-                            in_use: &mut Vec<(usize, LocalReg)>,
-                            last_use: &HashMap<usize, usize>| {
+                        free: &mut Vec<LocalReg>,
+                        in_use: &mut Vec<(usize, LocalReg)>,
+                        last_use: &HashMap<usize, usize>| {
         in_use.retain(|(v, p)| {
             let lu = last_use.get(v).copied().unwrap_or(0);
             if lu != END && lu < at {
@@ -495,7 +496,12 @@ fn compact_locals(
         // Sources are read at i; anything last used before i is dead.
         release_dead(i, &mut free, &mut in_use, &last_use);
         let mapped = match op {
-            ChainOpV::Alu { op, dst, src1, src2 } => {
+            ChainOpV::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let s1 = map_src(src1, &mapping);
                 let s2 = map_src(src2, &mapping);
                 // Sources whose last use is exactly i can donate their
@@ -540,10 +546,8 @@ fn compact_locals(
         out.push(mapped);
     }
 
-    let live_ins_m: Vec<(ArchReg, LocalReg)> = live_ins
-        .iter()
-        .map(|(r, v)| (*r, mapping[v]))
-        .collect();
+    let live_ins_m: Vec<(ArchReg, LocalReg)> =
+        live_ins.iter().map(|(r, v)| (*r, mapping[v])).collect();
     let live_outs_m: Vec<(ArchReg, ChainSrc)> = live_outs
         .iter()
         .map(|(r, b)| (*r, map_src(b, &mapping)))
@@ -556,9 +560,7 @@ fn compact_locals(
 mod tests {
     use super::*;
     use crate::ceb::ChainExtractionBuffer;
-    use br_isa::{
-        reg, Cond as ICond, MemOperand, Uop, UopKind, Width,
-    };
+    use br_isa::{reg, Cond as ICond, MemOperand, Uop, UopKind, Width};
 
     /// Helper to hand-build CEB records.
     struct CebBuilder {
@@ -574,7 +576,13 @@ mod tests {
             }
         }
 
-        fn push(&mut self, pc: Pc, kind: UopKind, mem: Option<(u64, Width, bool)>, taken: Option<bool>) {
+        fn push(
+            &mut self,
+            pc: Pc,
+            kind: UopKind,
+            mem: Option<(u64, Width, bool)>,
+            taken: Option<bool>,
+        ) {
             let uop = Uop { pc, kind };
             self.ceb.push(CebRecord {
                 seq: self.seq,
@@ -700,7 +708,7 @@ mod tests {
         // at A and tags <A, NT> like Figure 4d.
         let mut b = CebBuilder::new();
         push_leela_iteration(&mut b, false, 1); // A not-taken -> B executes
-        // B's feeder: ld r7 <- [r12 + r5*2 + 0x1ba4]; cmp r7, 1; branch B
+                                                // B's feeder: ld r7 <- [r12 + r5*2 + 0x1ba4]; cmp r7, 1; branch B
         b.push(
             0x6,
             UopKind::Load {

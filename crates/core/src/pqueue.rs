@@ -251,13 +251,7 @@ impl PredictionQueues {
     /// Retires the consumed slot `slot` of branch `pc`, comparing the DCE
     /// outcome against the resolved direction and TAGE's direction for
     /// throttle maintenance. Returns the slot's filled value if any.
-    pub fn retire(
-        &mut self,
-        pc: Pc,
-        slot: u64,
-        actual: bool,
-        tage_correct: bool,
-    ) -> Option<bool> {
+    pub fn retire(&mut self, pc: Pc, slot: u64, actual: bool, tage_correct: bool) -> Option<bool> {
         let q = self.queue_mut(pc, false)?;
         if slot < q.base {
             return None; // already gone (queue cleared)

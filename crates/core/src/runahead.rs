@@ -11,8 +11,7 @@ use std::collections::HashMap;
 use br_isa::{CpuState, Machine, Pc};
 use br_mem::{MemResp, MemorySystem};
 use br_ooo::{
-    BranchOutcome, CoreHooks, CycleReport, FetchedBranch, MispredictInfo, RetiredUop,
-    WrongPathUop,
+    BranchOutcome, CoreHooks, CycleReport, FetchedBranch, MispredictInfo, RetiredUop, WrongPathUop,
 };
 
 use crate::agdetect::PoisonDetector;
@@ -352,12 +351,14 @@ impl CoreHooks for BranchRunahead {
             self.poison = Some(PoisonDetector::new(&ev, self.cfg.max_merge_distance));
             // Register for diagnostic validation (bounded).
             if self.validations.len() < 64 {
-                self.validations.entry(ev.branch_pc).or_insert(MergeValidation {
-                    merge_pc: ev.merge_pc,
-                    static_pc: None,
-                    seen: [None, None],
-                    tracking: None,
-                });
+                self.validations
+                    .entry(ev.branch_pc)
+                    .or_insert(MergeValidation {
+                        merge_pc: ev.merge_pc,
+                        static_pc: None,
+                        seen: [None, None],
+                        tracking: None,
+                    });
             }
         }
 
@@ -459,7 +460,7 @@ mod tests {
         b.load(reg::R6, MemOperand::base_index(reg::R12, reg::R5, 8, 0));
         b.cmpi(reg::R6, 2);
         b.br(Cond::Ne, skip); // Branch A: data-dependent, ~2/3 taken
-        // Guarded work: a second data-dependent branch (Branch B).
+                              // Guarded work: a second data-dependent branch (Branch B).
         b.load(reg::R7, MemOperand::base_index(reg::R12, reg::R5, 8, 8));
         b.cmpi(reg::R7, 1);
         b.br(Cond::Ne, skip); // Branch B
@@ -479,10 +480,7 @@ mod tests {
         (b.build().unwrap(), img)
     }
 
-    fn run(
-        with_br: bool,
-        n: u64,
-    ) -> (br_ooo::CoreStats, Option<BrStats>) {
+    fn run(with_br: bool, n: u64) -> (br_ooo::CoreStats, Option<BrStats>) {
         let (program, img) = board_scan_program(n);
         let machine = Machine::new(img.into_memory());
         let mut core = Core::new(

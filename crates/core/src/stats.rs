@@ -3,8 +3,6 @@
 
 use std::collections::HashMap;
 
-
-
 /// Figure 12's prediction categories for covered branches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PredictionCategory {

@@ -344,13 +344,21 @@ mod tests {
         wpb.arm(
             5,
             0,
-            &[wp(10, Some(reg::R1)), wp(11, Some(reg::R2)), wp(30, Some(reg::R5))],
+            &[
+                wp(10, Some(reg::R1)),
+                wp(11, Some(reg::R2)),
+                wp(30, Some(reg::R5)),
+            ],
             0,
             4,
         );
         // Correct path: 20, 21, then 30 = merge.
-        assert!(wpb.on_correct_retire(&retired(20, Some(reg::R3), 10)).is_none());
-        assert!(wpb.on_correct_retire(&retired(21, Some(reg::R4), 10)).is_none());
+        assert!(wpb
+            .on_correct_retire(&retired(20, Some(reg::R3), 10))
+            .is_none());
+        assert!(wpb
+            .on_correct_retire(&retired(21, Some(reg::R4), 10))
+            .is_none());
         let ev = wpb
             .on_correct_retire(&retired(30, Some(reg::R5), 10))
             .expect("merge at 30");
@@ -368,7 +376,13 @@ mod tests {
     fn loop_branch_terminates_walk_at_second_instance() {
         let mut wpb = WrongPathBuffer::new(128, 4, 100);
         // Wrong path re-encounters the branch (pc 5): stop copying there.
-        wpb.arm(5, 0, &[wp(6, Some(reg::R1)), wp(5, None), wp(7, Some(reg::R2))], 0, 4);
+        wpb.arm(
+            5,
+            0,
+            &[wp(6, Some(reg::R1)), wp(5, None), wp(7, Some(reg::R2))],
+            0,
+            4,
+        );
         // pc 7 must not be in the buffer.
         assert!(wpb.probe(7).is_none());
         assert!(wpb.probe(6).is_some());

@@ -184,13 +184,34 @@ mod tests {
         let base = baseline_events();
         let base_uj = m.total_uj(&base);
         for bump in [
-            EnergyEvents { cycles: base.cycles + 100_000, ..base },
-            EnergyEvents { core_uops: base.core_uops + 100_000, ..base },
-            EnergyEvents { l1_accesses: base.l1_accesses + 100_000, ..base },
-            EnergyEvents { l2_accesses: base.l2_accesses + 100_000, ..base },
-            EnergyEvents { dram_accesses: base.dram_accesses + 10_000, ..base },
-            EnergyEvents { dce_uops: 100_000, ..base },
-            EnergyEvents { chain_extractions: 10_000, ..base },
+            EnergyEvents {
+                cycles: base.cycles + 100_000,
+                ..base
+            },
+            EnergyEvents {
+                core_uops: base.core_uops + 100_000,
+                ..base
+            },
+            EnergyEvents {
+                l1_accesses: base.l1_accesses + 100_000,
+                ..base
+            },
+            EnergyEvents {
+                l2_accesses: base.l2_accesses + 100_000,
+                ..base
+            },
+            EnergyEvents {
+                dram_accesses: base.dram_accesses + 10_000,
+                ..base
+            },
+            EnergyEvents {
+                dce_uops: 100_000,
+                ..base
+            },
+            EnergyEvents {
+                chain_extractions: 10_000,
+                ..base
+            },
         ] {
             assert!(m.total_uj(&bump) > base_uj, "bump must cost energy");
         }

@@ -82,13 +82,7 @@ impl ProgramBuilder {
     }
 
     /// Emits `dst = op(src1, src2)`. Returns the uop's PC.
-    pub fn alu(
-        &mut self,
-        op: AluOp,
-        dst: ArchReg,
-        src1: ArchReg,
-        src2: impl Into<Operand>,
-    ) -> Pc {
+    pub fn alu(&mut self, op: AluOp, dst: ArchReg, src1: ArchReg, src2: impl Into<Operand>) -> Pc {
         self.emit(UopKind::Alu {
             op,
             dst,

@@ -316,7 +316,12 @@ impl Machine {
         };
 
         match uop.kind {
-            UopKind::Alu { op, dst, src1, src2 } => {
+            UopKind::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let v = op.eval(self.cpu.reg(src1), self.operand(src2));
                 self.cpu.set_reg(dst, v);
                 rec.dst = Some((dst, v));

@@ -99,6 +99,19 @@ impl MemoryImage {
             base: 0,
         }
     }
+
+    /// Builds a journaled memory from a shared image without consuming it,
+    /// copying the touched pages. This is what lets one built workload
+    /// image seed many independent simulation runs: the page copy is far
+    /// cheaper than re-running the workload generator.
+    #[must_use]
+    pub fn to_memory(&self) -> JournaledMemory {
+        JournaledMemory {
+            pages: self.pages.clone(),
+            journal: VecDeque::new(),
+            base: 0,
+        }
+    }
 }
 
 /// A position in the store journal; rollback target for speculation.

@@ -32,7 +32,10 @@ impl Program {
             };
             if let Some(t) = target {
                 if t >= len {
-                    return Err(IsaError::BadBranchTarget { pc: u.pc, target: t });
+                    return Err(IsaError::BadBranchTarget {
+                        pc: u.pc,
+                        target: t,
+                    });
                 }
             }
         }
@@ -118,11 +121,7 @@ mod tests {
 
     #[test]
     fn out_of_range_target_rejected() {
-        let err = Program::new(vec![uop(
-            0,
-            UopKind::Jump { target: 7 },
-        )])
-        .unwrap_err();
+        let err = Program::new(vec![uop(0, UopKind::Jump { target: 7 })]).unwrap_err();
         assert_eq!(err, IsaError::BadBranchTarget { pc: 0, target: 7 });
     }
 

@@ -555,7 +555,12 @@ impl fmt::Display for Uop {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:#06x}: ", self.pc)?;
         match self.kind {
-            UopKind::Alu { op, dst, src1, src2 } => {
+            UopKind::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let name = format!("{op:?}").to_lowercase();
                 write!(f, "{name} {dst}, {src1}, {src2}")
             }

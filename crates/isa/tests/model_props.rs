@@ -1,4 +1,6 @@
-//! Model-based property tests for the ISA substrate.
+//! Model-based property tests for the ISA substrate, driven by a
+//! deterministic xorshift generator (the container builds hermetically,
+//! so no external property-testing dependency is used):
 //!
 //! * [`JournaledMemory`] against a plain `HashMap<u64, u8>` reference
 //!   model, under random interleavings of writes, checkpoints, rollbacks
@@ -9,16 +11,38 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use proptest::prelude::*;
-
 use br_isa::{
     reg, ArchReg, Cond, JournalMark, JournaledMemory, Machine, MemOperand, MemoryImage,
     ProgramBuilder, RegSet, Width,
 };
 
+/// Deterministic xorshift64* generator for case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
 #[derive(Clone, Debug)]
 enum MemAction {
-    Write { addr: u16, width_sel: u8, value: u64 },
+    Write {
+        addr: u16,
+        width_sel: u8,
+        value: u64,
+    },
     Checkpoint,
     /// Rollback to the i-th (mod live) outstanding mark.
     Rollback(u8),
@@ -26,14 +50,18 @@ enum MemAction {
     ReleaseOldest,
 }
 
-fn mem_action() -> impl Strategy<Value = MemAction> {
-    prop_oneof![
-        4 => (any::<u16>(), 0u8..4, any::<u64>())
-            .prop_map(|(addr, width_sel, value)| MemAction::Write { addr, width_sel, value }),
-        2 => Just(MemAction::Checkpoint),
-        1 => any::<u8>().prop_map(MemAction::Rollback),
-        1 => Just(MemAction::ReleaseOldest),
-    ]
+fn mem_action(rng: &mut Rng) -> MemAction {
+    // Weights 4:2:1:1, as in the original strategy.
+    match rng.below(8) {
+        0..=3 => MemAction::Write {
+            addr: rng.next() as u16,
+            width_sel: rng.below(4) as u8,
+            value: rng.next(),
+        },
+        4 | 5 => MemAction::Checkpoint,
+        6 => MemAction::Rollback(rng.next() as u8),
+        _ => MemAction::ReleaseOldest,
+    }
 }
 
 fn width_of(sel: u8) -> Width {
@@ -67,14 +95,14 @@ impl MemModel {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+#[test]
+fn journaled_memory_matches_model() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x9e37_79b9 ^ (case << 32) ^ case);
+        let n_actions = 1 + rng.below(59) as usize;
+        let actions: Vec<MemAction> = (0..n_actions).map(|_| mem_action(&mut rng)).collect();
+        let probes: Vec<u16> = (0..8).map(|_| rng.next() as u16).collect();
 
-    #[test]
-    fn journaled_memory_matches_model(
-        actions in prop::collection::vec(mem_action(), 1..60),
-        probes in prop::collection::vec(any::<u16>(), 8),
-    ) {
         let mut mem = JournaledMemory::new();
         let mut model = MemModel::default();
         // Outstanding marks, oldest first, paired with model snapshots.
@@ -82,7 +110,11 @@ proptest! {
 
         for a in &actions {
             match a {
-                MemAction::Write { addr, width_sel, value } => {
+                MemAction::Write {
+                    addr,
+                    width_sel,
+                    value,
+                } => {
                     let w = width_of(*width_sel);
                     mem.write(u64::from(*addr), w, *value);
                     model.write(u64::from(*addr), w, *value);
@@ -110,41 +142,49 @@ proptest! {
             // Spot-check agreement after every action.
             for p in &probes {
                 let w = width_of((*p % 4) as u8);
-                prop_assert_eq!(
+                assert_eq!(
                     mem.read(u64::from(*p), w),
-                    model.read(u64::from(*p), w)
+                    model.read(u64::from(*p), w),
+                    "case {case}: divergence at probe {p:#x}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn regset_matches_btreeset(
-        ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..64),
-    ) {
+#[test]
+fn regset_matches_btreeset() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x5151_7ea5 ^ (case << 24) ^ case);
+        let n_ops = 1 + rng.below(63) as usize;
         let mut rs = RegSet::empty();
         let mut model: BTreeSet<usize> = BTreeSet::new();
-        for (raw, insert) in ops {
+        for _ in 0..n_ops {
+            let raw = rng.next() as u8;
+            let insert = rng.below(2) == 0;
             let r = ArchReg::new(raw % 17);
             if insert {
-                prop_assert_eq!(rs.insert(r), model.insert(r.index()));
+                assert_eq!(rs.insert(r), model.insert(r.index()), "case {case}");
             } else {
-                prop_assert_eq!(rs.remove(r), model.remove(&r.index()));
+                assert_eq!(rs.remove(r), model.remove(&r.index()), "case {case}");
             }
-            prop_assert_eq!(rs.len(), model.len());
+            assert_eq!(rs.len(), model.len(), "case {case}");
             let members: Vec<usize> = rs.iter().map(ArchReg::index).collect();
             let expect: Vec<usize> = model.iter().copied().collect();
-            prop_assert_eq!(members, expect);
+            assert_eq!(members, expect, "case {case}");
         }
     }
+}
 
-    /// Checkpoint/restore determinism: executing N steps, restoring, and
-    /// re-executing must produce bit-identical machine state.
-    #[test]
-    fn machine_restore_is_deterministic(
-        values in prop::collection::vec(any::<u8>(), 16),
-        split in 1u64..40,
-    ) {
+/// Checkpoint/restore determinism: executing N steps, restoring, and
+/// re-executing must produce bit-identical machine state.
+#[test]
+fn machine_restore_is_deterministic() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0xdead_beef ^ (case << 16) ^ case);
+        let values: Vec<u8> = (0..16).map(|_| rng.next() as u8).collect();
+        let split = 1 + rng.below(39);
+
         let mut img = MemoryImage::new();
         for (i, v) in values.iter().enumerate() {
             img.write(0x100 + i as u64 * 8, Width::B8, u64::from(*v));
@@ -164,7 +204,9 @@ proptest! {
 
         let mut m = Machine::new(img.into_memory());
         for _ in 0..split.min(40) {
-            if m.halted() { break; }
+            if m.halted() {
+                break;
+            }
             m.step(&p, None).unwrap();
         }
         let cp = m.checkpoint();
@@ -179,7 +221,7 @@ proptest! {
         while !m.halted() {
             trace_b.push(m.step(&p, None).unwrap());
         }
-        prop_assert_eq!(trace_a, trace_b);
-        prop_assert_eq!(m.reg(reg::R3), final_r3);
+        assert_eq!(trace_a, trace_b, "case {case}");
+        assert_eq!(m.reg(reg::R3), final_r3, "case {case}");
     }
 }

@@ -155,8 +155,8 @@ impl Dram {
                 match best {
                     None => best = Some((i, hit)),
                     Some((bi, bhit)) => {
-                        let better = (hit && !bhit)
-                            || (hit == bhit && r.arrival < self.queue[bi].arrival);
+                        let better =
+                            (hit && !bhit) || (hit == bhit && r.arrival < self.queue[bi].arrival);
                         if better {
                             best = Some((i, hit));
                         }

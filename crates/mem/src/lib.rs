@@ -48,7 +48,7 @@ pub use dram::{Dram, DramConfig, DramStats};
 pub use mshr::{MshrFile, MshrOutcome};
 pub use prefetch::{StreamPrefetcher, StreamPrefetcherConfig};
 pub use system::{
-    MemoryConfig, MemoryStats, MemorySystem, MemResp, ReqId, ReqSource, RequestError,
+    MemResp, MemoryConfig, MemoryStats, MemorySystem, ReqId, ReqSource, RequestError,
 };
 pub use tlb::{Tlb, TlbConfig, TlbStats};
 

@@ -96,10 +96,11 @@ impl StreamPrefetcher {
         // access; start with +1 and fix on the first extension attempt).
         for dir in [1i64, -1] {
             // Try to pair with a one-behind stream of unknown direction.
-            if let Some(s) = self.streams.iter_mut().find(|s| {
-                s.confidence == 0
-                    && (line as i64 - s.last_line as i64) == dir
-            }) {
+            if let Some(s) = self
+                .streams
+                .iter_mut()
+                .find(|s| s.confidence == 0 && (line as i64 - s.last_line as i64) == dir)
+            {
                 s.direction = dir;
                 s.last_line = line;
                 s.confidence = 1;

@@ -1,7 +1,7 @@
 //! The composed, tick-driven memory system shared by core and DCE.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::dram::{Dram, DramConfig, DramStats};
@@ -119,8 +119,13 @@ enum Pending {
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum DramPurpose {
-    DemandFill { line_addr: u64, write_allocate: bool },
-    PrefetchFill { line_addr: u64 },
+    DemandFill {
+        line_addr: u64,
+        write_allocate: bool,
+    },
+    PrefetchFill {
+        line_addr: u64,
+    },
 }
 
 /// The shared L1D → L2 → DRAM hierarchy. See module docs for the flow.
@@ -287,13 +292,7 @@ impl MemorySystem {
         for pf_addr in prefetches {
             if !self.l2.probe(pf_addr) {
                 self.note_source(ReqSource::Prefetch);
-                self.enqueue_dram(
-                    DramPurpose::PrefetchFill {
-                        line_addr: pf_addr,
-                    },
-                    false,
-                    now,
-                );
+                self.enqueue_dram(DramPurpose::PrefetchFill { line_addr: pf_addr }, false, now);
             }
         }
 
@@ -568,7 +567,9 @@ mod tests {
         let id = mem.request(0x7040, false, ReqSource::Core, t1).unwrap();
         let _ = complete(&mut mem, id, t1, 3000);
         // Now both lines resident + TLB warm: hit latency is exactly 3.
-        let id = mem.request(0x7000, false, ReqSource::Core, 2 * t1 + 10).unwrap();
+        let id = mem
+            .request(0x7000, false, ReqSource::Core, 2 * t1 + 10)
+            .unwrap();
         let t3 = complete(&mut mem, id, 2 * t1 + 10, 100) - (2 * t1 + 10);
         assert_eq!(t3, 3, "warm access pays pure L1 latency");
         let s = mem.stats();

@@ -2,20 +2,18 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
-use br_isa::{
-    ExecRecord, Force, Machine, MachineCheckpoint, Program, Uop, UopKind,
-    NUM_ARCH_REGS,
-};
+use br_isa::{ExecRecord, Force, Machine, MachineCheckpoint, Program, Uop, UopKind, NUM_ARCH_REGS};
 use br_mem::{Cache, CacheConfig, MemResp, MemorySystem, ReqId, ReqSource, RequestError};
 use br_predictor::{ConditionalPredictor, Prediction, PredictorCheckpoint};
 
 use crate::config::CoreConfig;
-use crate::ras::{Btb, ReturnAddressStack};
 use crate::hooks::{
     BranchOutcome, CoreHooks, FetchedBranch, MispredictInfo, PredictionProvenance, RetiredUop,
     WrongPathUop,
 };
+use crate::ras::{Btb, ReturnAddressStack};
 use crate::stats::CoreStats;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,7 +95,7 @@ pub struct CycleReport {
 /// responses for this cycle.
 pub struct Core {
     cfg: CoreConfig,
-    program: Program,
+    program: Arc<Program>,
     machine: Machine,
     predictor: Box<dyn ConditionalPredictor>,
     rob: VecDeque<RobEntry>,
@@ -128,7 +126,9 @@ impl std::fmt::Debug for Core {
 
 impl Core {
     /// Creates a core executing `program` on `machine` with the given
-    /// baseline predictor.
+    /// baseline predictor. The program is taken as (anything convertible
+    /// to) an [`Arc`] so a shared workload image need not be copied per
+    /// core instance.
     ///
     /// # Panics
     ///
@@ -136,10 +136,11 @@ impl Core {
     #[must_use]
     pub fn new(
         cfg: CoreConfig,
-        program: Program,
+        program: impl Into<Arc<Program>>,
         machine: Machine,
         predictor: Box<dyn ConditionalPredictor>,
     ) -> Self {
+        let program = program.into();
         cfg.validate();
         let icache = (cfg.icache_bytes > 0).then(|| {
             Cache::new(CacheConfig {
@@ -380,7 +381,12 @@ impl Core {
 
     // ------------------------------------------------------------ retire
 
-    fn retire_phase(&mut self, now: u64, mem: &mut MemorySystem, hooks: &mut dyn CoreHooks) -> usize {
+    fn retire_phase(
+        &mut self,
+        now: u64,
+        mem: &mut MemorySystem,
+        hooks: &mut dyn CoreHooks,
+    ) -> usize {
         let mut retired = 0;
         while retired < self.cfg.retire_width {
             let Some(e) = self.rob.front() else { break };
@@ -415,11 +421,7 @@ impl Core {
             hooks.on_retire(&retired_uop);
 
             if let Some(ctl) = &e.branch {
-                let actual = e
-                    .rec
-                    .branch
-                    .expect("branch record present")
-                    .actual_taken;
+                let actual = e.rec.branch.expect("branch record present").actual_taken;
                 self.machine.release(&ctl.machine_cp);
                 if ctl.conditional {
                     self.stats.retired_branches += 1;
@@ -649,7 +651,9 @@ impl Core {
                 // the BTB. Either way fetch *commits* to the predicted
                 // target and recovers like a branch if it was wrong.
                 let predicted = match uop.kind {
-                    UopKind::JumpInd { is_return: true, .. } => self.ras.pop(),
+                    UopKind::JumpInd {
+                        is_return: true, ..
+                    } => self.ras.pop(),
                     _ => self.btb.predict(pc),
                 };
                 let machine_cp = self.machine.checkpoint();
@@ -735,10 +739,10 @@ impl Core {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hooks::NullHooks;
     use br_isa::{reg, Cond, MemOperand, MemoryImage, ProgramBuilder};
     use br_mem::MemoryConfig;
     use br_predictor::Bimodal;
-    use crate::hooks::NullHooks;
 
     fn run_core(program: Program, image: MemoryImage, max_cycles: u64) -> (Core, MemorySystem) {
         let machine = Machine::new(image.into_memory());

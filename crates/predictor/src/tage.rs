@@ -175,10 +175,7 @@ impl Tage {
         }
         Tage {
             bimodal: vec![2; 1 << cfg.bimodal_log2], // weakly taken
-            tables: vec![
-                vec![TaggedEntry::default(); 1 << cfg.table_log2];
-                cfg.num_tables
-            ],
+            tables: vec![vec![TaggedEntry::default(); 1 << cfg.table_log2]; cfg.num_tables],
             hist,
             idx_fold,
             tag_fold0,
@@ -205,8 +202,9 @@ impl Tage {
         let hl = self.cfg.history_length(i) as u64;
         let folded = u64::from(self.hist.folded(self.idx_fold[i]));
         let path = self.hist.path() & ((1 << hl.min(16)) - 1);
-        ((pc ^ (pc >> (self.cfg.table_log2 as u64 - i as u64 % 4)) ^ folded ^ (path >> (i as u64 & 3)))
-            as usize)
+        ((pc ^ (pc >> (self.cfg.table_log2 as u64 - i as u64 % 4))
+            ^ folded
+            ^ (path >> (i as u64 & 3))) as usize)
             & mask
     }
 

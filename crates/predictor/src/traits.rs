@@ -98,6 +98,10 @@ pub enum PredictorCheckpoint {
 
 /// A conditional branch direction predictor with speculative history.
 ///
+/// Predictors are required to be [`Send`] so a whole simulation (core +
+/// predictor + memory) is a self-contained unit of work that can move to
+/// a worker thread; all implementations here are plain owned data.
+///
 /// Call sequence per fetched branch: [`predict`](Self::predict) →
 /// [`checkpoint`](Self::checkpoint) (attach to the branch) →
 /// [`update_history`](Self::update_history) with the *followed* direction.
@@ -105,7 +109,7 @@ pub enum PredictorCheckpoint {
 /// checkpoint and re-apply `update_history` with the corrected direction.
 /// At retirement, [`train`](Self::train) with the actual direction and the
 /// prediction's metadata.
-pub trait ConditionalPredictor {
+pub trait ConditionalPredictor: Send {
     /// Short human-readable name (e.g. `"tage-sc-l-64kb"`).
     fn name(&self) -> &'static str;
 

@@ -3,9 +3,7 @@
 use br_core::BranchRunaheadConfig;
 use br_mem::MemoryConfig;
 use br_ooo::CoreConfig;
-use br_predictor::{
-    Bimodal, ConditionalPredictor, Gshare, TageScl, TageSclConfig,
-};
+use br_predictor::{Bimodal, ConditionalPredictor, Gshare, TageScl, TageSclConfig};
 
 /// Which baseline predictor the core uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -6,13 +6,22 @@
 //! regions); the *shape* — orderings, rough factors, crossovers — is the
 //! reproduction target. See `EXPERIMENTS.md` at the repository root for
 //! the recorded paper-vs-measured comparison.
+//!
+//! Every driver follows the same job-based discipline: it first
+//! *enumerates* the full `(configuration, workload)` matrix it needs, then
+//! expands that into [`SimJob`]s (one per SimPoint region) and executes
+//! them on the runner — sequentially or across worker threads, chosen by
+//! [`ExperimentSetup::threads`]. Table assembly happens afterwards from
+//! the ordered results, so output is bit-identical for any thread count.
 
 use br_core::{BranchRunaheadConfig, InitiationMode, PredictionCategory};
 use br_energy::{AreaBreakdown, EnergyModel};
-use br_workloads::{all_workloads, workload_by_name, WorkloadParams};
+use br_workloads::{all_workloads, WorkloadParams};
 
 use crate::config::SimConfig;
-use crate::system::{RunResult, System};
+use crate::job::{SimError, SimJob};
+use crate::runner::{aggregate, run_jobs};
+use crate::system::RunResult;
 use crate::table::{ExpTable, MeanKind};
 
 pub use crate::table::MeanKind as Mean;
@@ -31,6 +40,9 @@ pub struct ExperimentSetup {
     /// weighted average; each region here is the kernel rebuilt with a
     /// different seed. Default: a single full-weight region.
     pub regions: Vec<(u64, f64)>,
+    /// Worker threads for job execution: `1` = sequential (the default),
+    /// `0` = one per available CPU, `n` = exactly `n`.
+    pub threads: usize,
 }
 
 impl Default for ExperimentSetup {
@@ -38,8 +50,12 @@ impl Default for ExperimentSetup {
         ExperimentSetup {
             params: WorkloadParams::default(),
             max_retired: 400_000,
-            workloads: all_workloads().iter().map(|w| w.name().to_string()).collect(),
+            workloads: all_workloads()
+                .iter()
+                .map(|w| w.name().to_string())
+                .collect(),
             regions: vec![(0, 1.0)],
+            threads: 1,
         }
     }
 }
@@ -62,56 +78,95 @@ impl ExperimentSetup {
                 "sssp".into(),
             ],
             regions: vec![(0, 1.0)],
+            threads: 1,
         }
+    }
+
+    /// Replaces the region list with `k` regions of decaying SimPoint
+    /// weight (`1, 1/2, …, 1/k`) — region `i` rebuilds the kernel with a
+    /// seed salted by `i`. `k == 0` is clamped to one region.
+    #[must_use]
+    pub fn with_regions(mut self, k: usize) -> Self {
+        self.regions = (0..k.max(1))
+            .map(|i| (i as u64, 1.0 / (i + 1) as f64))
+            .collect();
+        self
+    }
+
+    /// Enumerates the jobs for one `(configuration, workload)` pair: one
+    /// per region, carrying the region's weight.
+    #[must_use]
+    pub fn jobs(&self, cfg: &SimConfig, workload: &str) -> Vec<SimJob> {
+        self.regions
+            .iter()
+            .map(|(salt, weight)| SimJob {
+                config: cfg.clone(),
+                workload: workload.to_string(),
+                params: self.params,
+                region_seed: *salt,
+                weight: *weight,
+                max_retired: self.max_retired,
+            })
+            .collect()
+    }
+
+    /// Runs a batch of `(configuration, workload)` specs and returns one
+    /// aggregated result per spec, in spec order. All regions of all
+    /// specs execute as one job batch, so parallelism spans the whole
+    /// matrix rather than one cell at a time.
+    pub fn run_specs(&self, specs: &[(SimConfig, &str)]) -> Result<Vec<RunResult>, SimError> {
+        assert!(!self.regions.is_empty(), "need at least one region");
+        let jobs: Vec<SimJob> = specs
+            .iter()
+            .flat_map(|(cfg, w)| self.jobs(cfg, w))
+            .collect();
+        let results = run_jobs(&jobs, self.threads)?;
+        let mut iter = results.into_iter();
+        Ok(specs
+            .iter()
+            .map(|_| {
+                let runs: Vec<(f64, RunResult)> = self
+                    .regions
+                    .iter()
+                    .map(|(_, w)| (*w, iter.next().expect("runner returns one result per job")))
+                    .collect();
+                aggregate(runs)
+            })
+            .collect())
     }
 
     /// Runs one workload under one configuration. With multiple regions,
     /// scalar statistics are combined as the weighted average (the
     /// paper's SimPoint methodology); structural results (chains, branch
     /// sites, breakdowns) come from the heaviest region's run.
-    #[must_use]
-    pub fn run(&self, mut cfg: SimConfig, workload: &str) -> RunResult {
-        cfg.max_retired = self.max_retired;
-        let w = workload_by_name(workload)
-            .unwrap_or_else(|| panic!("unknown workload {workload}"));
-        assert!(!self.regions.is_empty(), "need at least one region");
-        let mut runs: Vec<(f64, RunResult)> = self
-            .regions
-            .iter()
-            .map(|(seed_salt, weight)| {
-                let params = WorkloadParams {
-                    seed: self.params.seed ^ (seed_salt.wrapping_mul(0x9E37_79B9)),
-                    ..self.params
-                };
-                (*weight, System::new(cfg.clone(), w.build(&params)).run())
-            })
-            .collect();
-        if runs.len() == 1 {
-            return runs.pop().expect("one run").1;
-        }
-        let total_w: f64 = runs.iter().map(|(w, _)| *w).sum();
-        // Start from the heaviest region's full result, then overwrite the
-        // scalar counters with weighted averages.
-        let heaviest = runs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
-            .map(|(i, _)| i)
-            .expect("nonempty");
-        let mut out = runs[heaviest].1.clone();
-        let avg = |f: &dyn Fn(&RunResult) -> u64| -> u64 {
-            (runs.iter().map(|(w, r)| *w * f(r) as f64).sum::<f64>() / total_w) as u64
-        };
-        out.core.cycles = avg(&|r| r.core.cycles);
-        out.core.retired_uops = avg(&|r| r.core.retired_uops);
-        out.core.retired_branches = avg(&|r| r.core.retired_branches);
-        out.core.mispredicts = avg(&|r| r.core.mispredicts);
-        out.core.issued_uops = avg(&|r| r.core.issued_uops);
-        out.core.issued_loads = avg(&|r| r.core.issued_loads);
-        out.core.fetched_uops = avg(&|r| r.core.fetched_uops);
-        out.core.fetched_branches = avg(&|r| r.core.fetched_branches);
-        out
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownWorkload`] when `workload` is not registered;
+    /// the error lists every valid name.
+    pub fn run(&self, cfg: SimConfig, workload: &str) -> Result<RunResult, SimError> {
+        Ok(self
+            .run_specs(&[(cfg, workload)])?
+            .pop()
+            .expect("one spec yields one result"))
     }
+}
+
+/// Runs `configs` × `setup.workloads` as one batch; returns, per workload,
+/// the aggregated results in `configs` order.
+fn matrix(setup: &ExperimentSetup, configs: &[SimConfig]) -> Result<Vec<Vec<RunResult>>, SimError> {
+    let mut specs: Vec<(SimConfig, &str)> =
+        Vec::with_capacity(setup.workloads.len() * configs.len());
+    for w in &setup.workloads {
+        for cfg in configs {
+            specs.push((cfg.clone(), w.as_str()));
+        }
+    }
+    let flat = setup.run_specs(&specs)?;
+    Ok(flat
+        .chunks(configs.len())
+        .map(<[RunResult]>::to_vec)
+        .collect())
 }
 
 /// Misprediction rate (%) over a fixed set of branch sites in a run.
@@ -132,8 +187,7 @@ fn site_rate(r: &RunResult, sites: &[u64]) -> f64 {
 
 /// Figure 1: misprediction rate on the hardest branches — 64 KB
 /// TAGE-SC-L vs unlimited MTAGE vs dependence chains (Big BR).
-#[must_use]
-pub fn fig1(setup: &ExperimentSetup) -> ExpTable {
+pub fn fig1(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let mut t = ExpTable::new(
         "Figure 1: misprediction rate of the hardest branches (%)",
         vec![
@@ -143,8 +197,16 @@ pub fn fig1(setup: &ExperimentSetup) -> ExpTable {
         ],
         MeanKind::Arithmetic,
     );
-    for w in &setup.workloads {
-        let base = setup.run(SimConfig::baseline(), w);
+    let rows = matrix(
+        setup,
+        &[
+            SimConfig::baseline(),
+            SimConfig::mtage(),
+            SimConfig::big_br(),
+        ],
+    )?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
+        let base = &runs[0];
         // The paper selects the 32 most mispredicted branches.
         let sites: Vec<u64> = base
             .core
@@ -153,39 +215,38 @@ pub fn fig1(setup: &ExperimentSetup) -> ExpTable {
             .filter(|(_, s)| s.mispredicted > 0)
             .map(|(pc, _)| pc)
             .collect();
-        let mtage = setup.run(SimConfig::mtage(), w);
-        let chains = setup.run(SimConfig::big_br(), w);
         t.push_row(
             w.clone(),
             vec![
-                site_rate(&base, &sites),
-                site_rate(&mtage, &sites),
-                site_rate(&chains, &sites),
+                site_rate(base, &sites),
+                site_rate(&runs[1], &sites),
+                site_rate(&runs[2], &sites),
             ],
         );
     }
-    t
+    Ok(t)
 }
 
 /// Figure 2: average dependence-chain length in uops.
-#[must_use]
-pub fn fig2(setup: &ExperimentSetup) -> ExpTable {
+pub fn fig2(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let mut t = ExpTable::new(
         "Figure 2: average dependence chain length (uops)",
         vec!["chain-length".into()],
         MeanKind::Arithmetic,
     );
-    for w in &setup.workloads {
-        let r = setup.run(SimConfig::mini_br(), w);
-        t.push_row(w.clone(), vec![r.br.as_ref().map_or(0.0, |b| b.avg_chain_len())]);
+    let rows = matrix(setup, &[SimConfig::mini_br()])?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
+        t.push_row(
+            w.clone(),
+            vec![runs[0].br.as_ref().map_or(0.0, |b| b.avg_chain_len())],
+        );
     }
-    t
+    Ok(t)
 }
 
 /// Figure 3: increase in micro-ops issued (total and loads) due to
 /// Branch Runahead, in percent.
-#[must_use]
-pub fn fig3(setup: &ExperimentSetup) -> ExpTable {
+pub fn fig3(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let mut t = ExpTable::new(
         "Figure 3: extra micro-ops issued due to Branch Runahead (%)",
         vec![
@@ -195,17 +256,16 @@ pub fn fig3(setup: &ExperimentSetup) -> ExpTable {
         ],
         MeanKind::Arithmetic,
     );
-    for w in &setup.workloads {
-        let base = setup.run(SimConfig::baseline(), w);
-        let with = setup.run(SimConfig::mini_br(), w);
+    let rows = matrix(setup, &[SimConfig::baseline(), SimConfig::mini_br()])?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
+        let (base, with) = (&runs[0], &runs[1]);
         let br = with.br.as_ref().expect("BR enabled");
         // Net change includes the wrong-path work Branch Runahead removes
         // (it can be negative); `dce-overhead` is the pure added work the
         // paper's +34.3% mean refers to, relative to retired uops.
-        let uops_pct = ((with.core.issued_uops + br.dce_uops) as f64
-            / base.core.issued_uops as f64
-            - 1.0)
-            * 100.0;
+        let uops_pct =
+            ((with.core.issued_uops + br.dce_uops) as f64 / base.core.issued_uops as f64 - 1.0)
+                * 100.0;
         let loads_pct = ((with.core.issued_loads + br.dce_loads) as f64
             / base.core.issued_loads.max(1) as f64
             - 1.0)
@@ -213,33 +273,31 @@ pub fn fig3(setup: &ExperimentSetup) -> ExpTable {
         let overhead_pct = br.dce_uops as f64 / with.core.retired_uops.max(1) as f64 * 100.0;
         t.push_row(w.clone(), vec![uops_pct, loads_pct, overhead_pct]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 5: fraction of dependence chains impacted by affector or guard
 /// branches, in percent.
-#[must_use]
-pub fn fig5(setup: &ExperimentSetup) -> ExpTable {
+pub fn fig5(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let mut t = ExpTable::new(
         "Figure 5: chains with affectors or guards (%)",
         vec!["with-ag".into()],
         MeanKind::Arithmetic,
     );
-    for w in &setup.workloads {
-        let r = setup.run(SimConfig::mini_br(), w);
+    let rows = matrix(setup, &[SimConfig::mini_br()])?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
         t.push_row(
             w.clone(),
-            vec![r.br.as_ref().map_or(0.0, |b| b.ag_fraction() * 100.0)],
+            vec![runs[0].br.as_ref().map_or(0.0, |b| b.ag_fraction() * 100.0)],
         );
     }
-    t
+    Ok(t)
 }
 
 /// Figure 10: MPKI and IPC improvement of 80 KB TAGE-SC-L and the three
 /// Branch Runahead configurations over the 64 KB baseline. Returns
 /// `(mpki_table, ipc_table)`.
-#[must_use]
-pub fn fig10(setup: &ExperimentSetup) -> (ExpTable, ExpTable) {
+pub fn fig10(setup: &ExperimentSetup) -> Result<(ExpTable, ExpTable), SimError> {
     let series = vec![
         "80kb-tage".into(),
         "core-only".into(),
@@ -256,54 +314,69 @@ pub fn fig10(setup: &ExperimentSetup) -> (ExpTable, ExpTable) {
         series,
         MeanKind::GeometricPct,
     );
-    for w in &setup.workloads {
-        let base = setup.run(SimConfig::baseline(), w);
-        let runs = [
-            setup.run(SimConfig::tage80(), w),
-            setup.run(SimConfig::core_only_br(), w),
-            setup.run(SimConfig::mini_br(), w),
-            setup.run(SimConfig::big_br(), w),
-        ];
+    let rows = matrix(
+        setup,
+        &[
+            SimConfig::baseline(),
+            SimConfig::tage80(),
+            SimConfig::core_only_br(),
+            SimConfig::mini_br(),
+            SimConfig::big_br(),
+        ],
+    )?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
+        let base = &runs[0];
         mpki.push_row(
             w.clone(),
-            runs.iter().map(|r| r.mpki_improvement_pct(&base)).collect(),
+            runs[1..]
+                .iter()
+                .map(|r| r.mpki_improvement_pct(base))
+                .collect(),
         );
         ipc.push_row(
             w.clone(),
-            runs.iter().map(|r| r.ipc_improvement_pct(&base)).collect(),
+            runs[1..]
+                .iter()
+                .map(|r| r.ipc_improvement_pct(base))
+                .collect(),
         );
     }
-    (mpki, ipc)
+    Ok((mpki, ipc))
 }
 
 /// Figure 11 (top): MPKI improvement of MTAGE, Big BR, and MTAGE+Big BR
 /// over the 64 KB baseline.
-#[must_use]
-pub fn fig11_top(setup: &ExperimentSetup) -> ExpTable {
+pub fn fig11_top(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let mut t = ExpTable::new(
         "Figure 11 (top): MPKI improvement over 64KB TAGE-SC-L (%)",
         vec!["mtage".into(), "big-br".into(), "mtage+big-br".into()],
         MeanKind::Arithmetic,
     );
-    for w in &setup.workloads {
-        let base = setup.run(SimConfig::baseline(), w);
-        let rows = [
-            setup.run(SimConfig::mtage(), w),
-            setup.run(SimConfig::big_br(), w),
-            setup.run(SimConfig::mtage_plus_big_br(), w),
-        ];
+    let rows = matrix(
+        setup,
+        &[
+            SimConfig::baseline(),
+            SimConfig::mtage(),
+            SimConfig::big_br(),
+            SimConfig::mtage_plus_big_br(),
+        ],
+    )?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
+        let base = &runs[0];
         t.push_row(
             w.clone(),
-            rows.iter().map(|r| r.mpki_improvement_pct(&base)).collect(),
+            runs[1..]
+                .iter()
+                .map(|r| r.mpki_improvement_pct(base))
+                .collect(),
         );
     }
-    t
+    Ok(t)
 }
 
 /// Figure 11 (bottom): MPKI improvement of the three chain-initiation
 /// policies (Mini configuration).
-#[must_use]
-pub fn fig11_bottom(setup: &ExperimentSetup) -> ExpTable {
+pub fn fig11_bottom(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let mut t = ExpTable::new(
         "Figure 11 (bottom): MPKI improvement by initiation policy (%)",
         vec![
@@ -313,25 +386,31 @@ pub fn fig11_bottom(setup: &ExperimentSetup) -> ExpTable {
         ],
         MeanKind::Arithmetic,
     );
-    for w in &setup.workloads {
-        let base = setup.run(SimConfig::baseline(), w);
-        let mut vals = Vec::new();
-        for mode in InitiationMode::ALL {
-            let mut cfg = SimConfig::mini_br();
-            if let Some(rc) = &mut cfg.runahead {
-                rc.initiation = mode;
-            }
-            vals.push(setup.run(cfg, w).mpki_improvement_pct(&base));
+    let mut configs = vec![SimConfig::baseline()];
+    for mode in InitiationMode::ALL {
+        let mut cfg = SimConfig::mini_br();
+        if let Some(rc) = &mut cfg.runahead {
+            rc.initiation = mode;
         }
-        t.push_row(w.clone(), vals);
+        configs.push(cfg);
     }
-    t
+    let rows = matrix(setup, &configs)?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
+        let base = &runs[0];
+        t.push_row(
+            w.clone(),
+            runs[1..]
+                .iter()
+                .map(|r| r.mpki_improvement_pct(base))
+                .collect(),
+        );
+    }
+    Ok(t)
 }
 
 /// Figure 12: breakdown of DCE predictions for covered branches
 /// (inactive / late / throttled / incorrect / correct), in percent.
-#[must_use]
-pub fn fig12(setup: &ExperimentSetup) -> ExpTable {
+pub fn fig12(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let mut t = ExpTable::new(
         "Figure 12: prediction breakdown for covered branches (%)",
         vec![
@@ -343,9 +422,9 @@ pub fn fig12(setup: &ExperimentSetup) -> ExpTable {
         ],
         MeanKind::Arithmetic,
     );
-    for w in &setup.workloads {
-        let r = setup.run(SimConfig::mini_br(), w);
-        let br = r.br.as_ref().expect("BR enabled");
+    let rows = matrix(setup, &[SimConfig::mini_br()])?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
+        let br = runs[0].br.as_ref().expect("BR enabled");
         t.push_row(
             w.clone(),
             PredictionCategory::ALL
@@ -354,15 +433,14 @@ pub fn fig12(setup: &ExperimentSetup) -> ExpTable {
                 .collect(),
         );
     }
-    t
+    Ok(t)
 }
 
 /// Figure 13: parameter sweeps from the Mini configuration toward Big.
 /// Rows are `param=value`; the single column is the mean MPKI improvement
 /// over the 64 KB baseline across the setup's workloads. As in the paper
 /// (footnote 16), sweeps run shorter regions than the other experiments.
-#[must_use]
-pub fn fig13(setup: &ExperimentSetup) -> ExpTable {
+pub fn fig13(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let setup = &ExperimentSetup {
         max_retired: (setup.max_retired / 4).max(10_000),
         ..setup.clone()
@@ -389,57 +467,61 @@ pub fn fig13(setup: &ExperimentSetup) -> ExpTable {
             c.max_chain_len = v;
         }),
     ];
-    // Baselines per workload (computed once).
-    let bases: Vec<RunResult> = setup
-        .workloads
-        .iter()
-        .map(|w| setup.run(SimConfig::baseline(), w))
-        .collect();
-    for (name, values, apply) in sweeps {
+    // Enumerate every swept configuration once, then run the whole
+    // baseline + sweep matrix as one batch.
+    let mut labels = Vec::new();
+    let mut configs = vec![SimConfig::baseline()];
+    for (name, values, apply) in &sweeps {
         for v in values {
-            let mut sum = 0.0;
-            for (w, base) in setup.workloads.iter().zip(&bases) {
-                let mut cfg = SimConfig::mini_br();
-                if let Some(rc) = &mut cfg.runahead {
-                    apply(rc, v);
-                }
-                sum += setup.run(cfg, w).mpki_improvement_pct(base);
+            let mut cfg = SimConfig::mini_br();
+            if let Some(rc) = &mut cfg.runahead {
+                apply(rc, *v);
             }
-            t.push_row(
-                format!("{name}={v}"),
-                vec![sum / setup.workloads.len() as f64],
-            );
+            labels.push(format!("{name}={v}"));
+            configs.push(cfg);
         }
     }
-    t
+    let rows = matrix(setup, &configs)?;
+    for (i, label) in labels.into_iter().enumerate() {
+        let mean = rows
+            .iter()
+            .map(|runs| runs[i + 1].mpki_improvement_pct(&runs[0]))
+            .sum::<f64>()
+            / setup.workloads.len() as f64;
+        t.push_row(label, vec![mean]);
+    }
+    Ok(t)
 }
 
 /// Figure 14: relative energy change (%) of the three Branch Runahead
 /// configurations (negative = saves energy).
-#[must_use]
-pub fn fig14(setup: &ExperimentSetup) -> ExpTable {
+pub fn fig14(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let model = EnergyModel::default();
     let mut t = ExpTable::new(
         "Figure 14: energy change vs baseline (%) — lower is better",
         vec!["core-only".into(), "mini".into(), "big".into()],
         MeanKind::Arithmetic,
     );
-    for w in &setup.workloads {
-        let base = setup.run(SimConfig::baseline(), w).energy_events();
-        let vals = [
+    let rows = matrix(
+        setup,
+        &[
+            SimConfig::baseline(),
             SimConfig::core_only_br(),
             SimConfig::mini_br(),
             SimConfig::big_br(),
-        ]
-        .into_iter()
-        .map(|cfg| {
-            let e = setup.run(cfg, w).energy_events();
-            model.relative_change_pct(&base, &e)
-        })
-        .collect();
-        t.push_row(w.clone(), vals);
+        ],
+    )?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
+        let base = runs[0].energy_events();
+        t.push_row(
+            w.clone(),
+            runs[1..]
+                .iter()
+                .map(|r| model.relative_change_pct(&base, &r.energy_events()))
+                .collect(),
+        );
     }
-    t
+    Ok(t)
 }
 
 /// Design-choice ablations (DESIGN.md §5): Mini Branch Runahead versus
@@ -447,8 +529,7 @@ pub fn fig14(setup: &ExperimentSetup) -> ExpTable {
 /// expose enough MLP" — and (b) disabled affector/guard detection — the
 /// paper's contribution bullet "we demonstrate the importance of
 /// accurately identifying affector and guard dependencies".
-#[must_use]
-pub fn ablations(setup: &ExperimentSetup) -> ExpTable {
+pub fn ablations(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let mut t = ExpTable::new(
         "Ablations: MPKI improvement over baseline (%)",
         vec![
@@ -458,46 +539,46 @@ pub fn ablations(setup: &ExperimentSetup) -> ExpTable {
         ],
         MeanKind::Arithmetic,
     );
-    for w in &setup.workloads {
-        let base = setup.run(SimConfig::baseline(), w);
-        let full = setup.run(SimConfig::mini_br(), w);
-        let mut inorder_cfg = SimConfig::mini_br();
-        if let Some(rc) = &mut inorder_cfg.runahead {
-            rc.dce_in_order = true;
-        }
-        let inorder = setup.run(inorder_cfg, w);
-        let mut noag_cfg = SimConfig::mini_br();
-        if let Some(rc) = &mut noag_cfg.runahead {
-            rc.enable_affector_guards = false;
-        }
-        let noag = setup.run(noag_cfg, w);
+    let mut inorder_cfg = SimConfig::mini_br();
+    if let Some(rc) = &mut inorder_cfg.runahead {
+        rc.dce_in_order = true;
+    }
+    let mut noag_cfg = SimConfig::mini_br();
+    if let Some(rc) = &mut noag_cfg.runahead {
+        rc.enable_affector_guards = false;
+    }
+    let rows = matrix(
+        setup,
+        &[
+            SimConfig::baseline(),
+            SimConfig::mini_br(),
+            inorder_cfg,
+            noag_cfg,
+        ],
+    )?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
+        let base = &runs[0];
         t.push_row(
             w.clone(),
-            vec![
-                full.mpki_improvement_pct(&base),
-                inorder.mpki_improvement_pct(&base),
-                noag.mpki_improvement_pct(&base),
-            ],
+            runs[1..]
+                .iter()
+                .map(|r| r.mpki_improvement_pct(base))
+                .collect(),
         );
     }
-    t
+    Ok(t)
 }
 
 /// §4.4 merge-point prediction accuracy (%), per workload.
-#[must_use]
-pub fn merge_point(setup: &ExperimentSetup) -> ExpTable {
+pub fn merge_point(setup: &ExperimentSetup) -> Result<ExpTable, SimError> {
     let mut t = ExpTable::new(
         "Merge-point prediction accuracy (%) [paper: WPB 92% vs prior-work 78%]",
-        vec![
-            "wpb".into(),
-            "static-heuristic".into(),
-            "validated".into(),
-        ],
+        vec!["wpb".into(), "static-heuristic".into(), "validated".into()],
         MeanKind::Arithmetic,
     );
-    for w in &setup.workloads {
-        let r = setup.run(SimConfig::mini_br(), w);
-        let br = r.br.as_ref().expect("BR enabled");
+    let rows = matrix(setup, &[SimConfig::mini_br()])?;
+    for (w, runs) in setup.workloads.iter().zip(rows) {
+        let br = runs[0].br.as_ref().expect("BR enabled");
         t.push_row(
             w.clone(),
             vec![
@@ -507,7 +588,7 @@ pub fn merge_point(setup: &ExperimentSetup) -> ExpTable {
             ],
         );
     }
-    t
+    Ok(t)
 }
 
 /// §5.2 area report.
@@ -550,5 +631,33 @@ mod tests {
         let q = ExperimentSetup::quick();
         assert!(q.workloads.len() <= 6);
         assert!(q.max_retired <= 100_000);
+        assert_eq!(q.threads, 1, "quick() defaults to sequential");
+    }
+
+    #[test]
+    fn with_regions_decays_weights() {
+        let s = ExperimentSetup::quick().with_regions(3);
+        assert_eq!(s.regions, vec![(0, 1.0), (1, 0.5), (2, 1.0 / 3.0)]);
+        assert_eq!(ExperimentSetup::quick().with_regions(0).regions.len(), 1);
+    }
+
+    #[test]
+    fn run_rejects_unknown_workload() {
+        let setup = ExperimentSetup::quick();
+        let err = setup
+            .run(SimConfig::baseline(), "not_a_kernel")
+            .unwrap_err();
+        assert!(err.to_string().contains("not_a_kernel"));
+    }
+
+    #[test]
+    fn jobs_enumerate_regions() {
+        let setup = ExperimentSetup::quick().with_regions(3);
+        let jobs = setup.jobs(&SimConfig::baseline(), "bfs");
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[2].region_seed, 2);
+        assert!((jobs[1].weight - 0.5).abs() < 1e-12);
+        // Each job is independently hashable and distinct.
+        assert_ne!(jobs[0].fingerprint(), jobs[1].fingerprint());
     }
 }

@@ -1,0 +1,199 @@
+//! The unit of schedulable simulation work.
+//!
+//! A [`SimJob`] bundles everything one simulation run needs — the system
+//! configuration, the workload name, the region's seed salt and SimPoint
+//! weight, and the retired-uop budget — into a self-contained value that
+//! is `Send`, independently executable, and hashable (for caching and
+//! run-log identification). Experiment drivers *enumerate* jobs up front
+//! and hand them to a runner (sequential or the sharded thread pool in
+//! [`crate::runner`]); they never interleave enumeration with execution,
+//! which is what makes the parallel and sequential paths bit-identical.
+
+use std::sync::Arc;
+
+use br_workloads::{all_workloads, workload_by_name, Workload, WorkloadImage, WorkloadParams};
+
+use crate::config::SimConfig;
+use crate::system::{RunResult, System};
+
+/// Errors from experiment setup or execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A workload name did not match any registered kernel.
+    UnknownWorkload {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every valid workload name, for the error message.
+        valid: Vec<&'static str>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownWorkload { name, valid } => {
+                write!(
+                    f,
+                    "unknown workload {name:?}; valid names: {}",
+                    valid.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One independently executable simulation: a configuration, a workload
+/// region, and a budget. The SimPoint `weight` rides along so the caller
+/// can aggregate region results without tracking a side table.
+#[derive(Clone, Debug)]
+pub struct SimJob {
+    /// The full system configuration (its `max_retired` is overridden by
+    /// [`SimJob::max_retired`] at execution time).
+    pub config: SimConfig,
+    /// Registered workload name (e.g. `"leela_17"`).
+    pub workload: String,
+    /// Base build parameters; [`SimJob::region_seed`] salts the seed.
+    pub params: WorkloadParams,
+    /// Region index/salt: region `k` rebuilds the kernel with a seed
+    /// derived from `params.seed` and `k` (the SimPoint analogue).
+    pub region_seed: u64,
+    /// SimPoint weight of this region in the workload's aggregate.
+    pub weight: f64,
+    /// Retired-uop budget for this run.
+    pub max_retired: u64,
+}
+
+impl SimJob {
+    /// The build parameters for this job's region: the base parameters
+    /// with the seed salted by the region index.
+    #[must_use]
+    pub fn effective_params(&self) -> WorkloadParams {
+        WorkloadParams {
+            seed: self.params.seed ^ (self.region_seed.wrapping_mul(0x9E37_79B9)),
+            ..self.params
+        }
+    }
+
+    /// Resolves the workload, or reports the valid names.
+    pub fn resolve(&self) -> Result<Box<dyn Workload>, SimError> {
+        workload_by_name(&self.workload).ok_or_else(|| SimError::UnknownWorkload {
+            name: self.workload.clone(),
+            valid: all_workloads().iter().map(|w| w.name()).collect(),
+        })
+    }
+
+    /// Builds this job's workload image. Runners that execute many jobs
+    /// should build each distinct `(workload, params)` image once and
+    /// share it via [`SimJob::execute`] instead.
+    pub fn build_image(&self) -> Result<Arc<WorkloadImage>, SimError> {
+        Ok(Arc::new(self.resolve()?.build(&self.effective_params())))
+    }
+
+    /// Executes the job against an already built image (the image must
+    /// match [`SimJob::effective_params`]).
+    #[must_use]
+    pub fn execute(&self, image: &WorkloadImage) -> RunResult {
+        let mut cfg = self.config.clone();
+        cfg.max_retired = self.max_retired;
+        System::new(cfg, image).run()
+    }
+
+    /// Builds and runs the job in one step.
+    pub fn run(&self) -> Result<RunResult, SimError> {
+        let image = self.build_image()?;
+        Ok(self.execute(&image))
+    }
+
+    /// The cache key identifying this job's workload image: distinct keys
+    /// build distinct images, equal keys may share one.
+    #[must_use]
+    pub fn image_key(&self) -> (String, WorkloadParams) {
+        (self.workload.clone(), self.effective_params())
+    }
+
+    /// A stable 64-bit fingerprint of the whole job (FNV-1a over the
+    /// canonical debug form). Two jobs with the same fingerprint run the
+    /// same simulation; useful for run logs and result caches.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let repr = format!(
+            "{:?}|{}|{:?}|{}|{}|{}",
+            self.config,
+            self.workload,
+            self.params,
+            self.region_seed,
+            self.weight.to_bits(),
+            self.max_retired,
+        );
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(workload: &str) -> SimJob {
+        SimJob {
+            config: SimConfig::baseline(),
+            workload: workload.into(),
+            params: WorkloadParams {
+                scale: 512,
+                iterations: 1_000_000,
+                seed: 7,
+            },
+            region_seed: 0,
+            weight: 1.0,
+            max_retired: 5_000,
+        }
+    }
+
+    #[test]
+    fn job_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SimJob>();
+        assert_send::<System>();
+    }
+
+    #[test]
+    fn unknown_workload_lists_valid_names() {
+        let err = job("no_such_kernel").run().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no_such_kernel"));
+        assert!(msg.contains("leela_17"), "must list valid names: {msg}");
+    }
+
+    #[test]
+    fn job_runs_independently() {
+        let r = job("leela_17").run().unwrap();
+        assert!(r.core.retired_uops >= 5_000);
+    }
+
+    #[test]
+    fn region_seed_salts_params() {
+        let mut j = job("leela_17");
+        let base = j.effective_params();
+        j.region_seed = 1;
+        assert_ne!(base.seed, j.effective_params().seed);
+        assert_eq!(base.scale, j.effective_params().scale);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_jobs() {
+        let a = job("leela_17");
+        let mut b = job("leela_17");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.region_seed = 3;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let c = job("bfs");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

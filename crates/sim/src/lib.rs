@@ -17,7 +17,7 @@
 //!
 //! let w = workload_by_name("leela_17").unwrap();
 //! let image = w.build(&WorkloadParams::default());
-//! let mut sys = System::new(SimConfig::mini_br(), image);
+//! let mut sys = System::new(SimConfig::mini_br(), &image);
 //! let result = sys.run();
 //! println!("IPC {:.3}, MPKI {:.2}", result.ipc(), result.mpki());
 //! ```
@@ -26,9 +26,13 @@
 
 mod config;
 pub mod experiments;
+mod job;
+mod runner;
 mod system;
 mod table;
 
 pub use config::{render_table2, PredictorKind, SimConfig};
-pub use system::{RunResult, System};
+pub use job::{SimError, SimJob};
+pub use runner::{aggregate, resolve_threads, run_jobs};
+pub use system::{RunResult, System, SystemHooks};
 pub use table::ExpTable;

@@ -1,0 +1,218 @@
+//! Sharded job execution and region aggregation.
+//!
+//! [`run_jobs`] executes a batch of [`SimJob`]s across worker threads.
+//! Scheduling is self-stealing: workers pull the next un-started job index
+//! from a shared atomic counter, so a worker that draws short jobs simply
+//! takes more of them — no static partitioning, no idle tails. Results are
+//! returned **in job order** regardless of completion order, and each job
+//! is a deterministic simulation, so the output is bit-identical for any
+//! thread count (including the in-place sequential path used for
+//! `threads == 1`).
+//!
+//! [`aggregate`] is the pure SimPoint weighted-average combiner shared by
+//! the sequential and parallel paths; keeping it out of the execution code
+//! is what guarantees the two paths cannot diverge.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use br_workloads::{WorkloadImage, WorkloadParams};
+
+use crate::job::{SimError, SimJob};
+use crate::system::RunResult;
+
+/// Caches built workload images by `(workload, params)` so the many jobs
+/// of an experiment (every configuration × every region) share one build
+/// per distinct image. Generators are deterministic, so if two workers
+/// race to build the same key the first insert wins and the duplicate is
+/// dropped — wasted work, never wrong results.
+#[derive(Debug, Default)]
+struct ImageCache {
+    map: Mutex<HashMap<(String, WorkloadParams), Arc<WorkloadImage>>>,
+}
+
+impl ImageCache {
+    fn get_or_build(&self, job: &SimJob) -> Result<Arc<WorkloadImage>, SimError> {
+        let key = job.image_key();
+        if let Some(img) = self.map.lock().expect("image cache poisoned").get(&key) {
+            return Ok(Arc::clone(img));
+        }
+        // Build outside the lock: image generation dominates, and holding
+        // the lock across it would serialize every worker behind it.
+        let built = job.build_image()?;
+        let mut map = self.map.lock().expect("image cache poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(built)))
+    }
+}
+
+/// Resolves a thread-count knob: `0` means one worker per available CPU.
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// Executes every job and returns the results in job order. `threads == 0`
+/// auto-sizes to the machine; `threads == 1` runs inline on the calling
+/// thread. Invalid workload names fail the whole batch *before* any
+/// simulation starts, so errors are cheap and never partial.
+pub fn run_jobs(jobs: &[SimJob], threads: usize) -> Result<Vec<RunResult>, SimError> {
+    for job in jobs {
+        job.resolve()?;
+    }
+    let threads = resolve_threads(threads).min(jobs.len().max(1));
+    let cache = ImageCache::default();
+    if threads <= 1 {
+        return jobs
+            .iter()
+            .map(|job| {
+                let img = cache.get_or_build(job)?;
+                Ok(job.execute(&img))
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<RunResult, SimError>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let cache = &cache;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let result = cache
+                    .get_or_build(&jobs[i])
+                    .map(|img| jobs[i].execute(&img));
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Result<RunResult, SimError>>> = vec![None; jobs.len()];
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index reported exactly once"))
+            .collect()
+    })
+}
+
+/// Combines weighted region runs into one result (the paper's SimPoint
+/// methodology). Scalar counters become the weighted average; structural
+/// results (chains, branch sites, category breakdowns) are taken from the
+/// heaviest region's run. A single run passes through untouched.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty — an experiment with zero regions is a
+/// driver bug, not a recoverable condition.
+#[must_use]
+pub fn aggregate(mut runs: Vec<(f64, RunResult)>) -> RunResult {
+    assert!(!runs.is_empty(), "need at least one region run");
+    if runs.len() == 1 {
+        return runs.pop().expect("one run").1;
+    }
+    let total_w: f64 = runs.iter().map(|(w, _)| *w).sum();
+    let heaviest = runs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+        .map(|(i, _)| i)
+        .expect("nonempty");
+    let mut out = runs[heaviest].1.clone();
+    let avg = |f: &dyn Fn(&RunResult) -> u64| -> u64 {
+        (runs.iter().map(|(w, r)| *w * f(r) as f64).sum::<f64>() / total_w) as u64
+    };
+    out.core.cycles = avg(&|r| r.core.cycles);
+    out.core.retired_uops = avg(&|r| r.core.retired_uops);
+    out.core.retired_branches = avg(&|r| r.core.retired_branches);
+    out.core.mispredicts = avg(&|r| r.core.mispredicts);
+    out.core.issued_uops = avg(&|r| r.core.issued_uops);
+    out.core.issued_loads = avg(&|r| r.core.issued_loads);
+    out.core.fetched_uops = avg(&|r| r.core.fetched_uops);
+    out.core.fetched_branches = avg(&|r| r.core.fetched_branches);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn jobs(n: u64) -> Vec<SimJob> {
+        (0..n)
+            .map(|k| SimJob {
+                config: SimConfig::baseline(),
+                workload: "leela_17".into(),
+                params: WorkloadParams {
+                    scale: 512,
+                    iterations: 1_000_000,
+                    seed: 11,
+                },
+                region_seed: k,
+                weight: 1.0 / (k + 1) as f64,
+                max_retired: 4_000,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let batch = jobs(4);
+        let seq = run_jobs(&batch, 1).unwrap();
+        let par = run_jobs(&batch, 4).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.core.cycles, p.core.cycles);
+            assert_eq!(s.core.retired_uops, p.core.retired_uops);
+            assert_eq!(s.core.mispredicts, p.core.mispredicts);
+            assert_eq!(s.config_name, p.config_name);
+        }
+    }
+
+    #[test]
+    fn bad_name_fails_whole_batch() {
+        let mut batch = jobs(2);
+        batch[1].workload = "bogus".into();
+        assert!(matches!(
+            run_jobs(&batch, 2),
+            Err(SimError::UnknownWorkload { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_single_is_identity() {
+        let r = jobs(1)[0].run().unwrap();
+        let agg = aggregate(vec![(0.7, r.clone())]);
+        assert_eq!(agg.core.cycles, r.core.cycles);
+        assert_eq!(agg.core.mispredicts, r.core.mispredicts);
+    }
+
+    #[test]
+    fn aggregate_weighted_average_is_bounded() {
+        let batch = jobs(2);
+        let results = run_jobs(&batch, 1).unwrap();
+        let lo = results.iter().map(|r| r.core.cycles).min().unwrap();
+        let hi = results.iter().map(|r| r.core.cycles).max().unwrap();
+        let weighted: Vec<(f64, RunResult)> = batch.iter().map(|j| j.weight).zip(results).collect();
+        let agg = aggregate(weighted);
+        assert!(agg.core.cycles >= lo && agg.core.cycles <= hi);
+    }
+
+    #[test]
+    fn resolve_threads_auto_is_positive() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

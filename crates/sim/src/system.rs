@@ -1,13 +1,106 @@
 //! System composition: core + memory + (optional) Branch Runahead.
 
-use br_core::{BranchRunahead, BrStats};
+use br_core::{BrStats, BranchRunahead};
 use br_energy::EnergyEvents;
-use br_isa::Machine;
-use br_mem::{MemorySystem, MemoryStats};
-use br_ooo::{Core, CoreStats, NullHooks};
+use br_isa::{CpuState, Machine, Pc};
+use br_mem::{MemResp, MemoryStats, MemorySystem};
+use br_ooo::{
+    BranchOutcome, CoreHooks, CoreStats, CycleReport, FetchedBranch, MispredictInfo, RetiredUop,
+    WrongPathUop,
+};
+use br_ooo::{Core, NullHooks};
 use br_workloads::WorkloadImage;
 
 use crate::config::SimConfig;
+
+/// The uniform observation/steering attachment of a [`System`]: either the
+/// baseline no-op hooks or a Branch Runahead engine. [`System::run`] drives
+/// one code path regardless of which is attached — the paper's "baseline
+/// vs. BR" distinction is data, not control flow.
+#[derive(Debug)]
+pub enum SystemHooks {
+    /// Baseline system: observe nothing, never override.
+    Baseline(NullHooks),
+    /// Branch Runahead attached (boxed: the engine is large).
+    Runahead(Box<BranchRunahead>),
+}
+
+impl SystemHooks {
+    /// Builds the hooks for a configuration.
+    #[must_use]
+    pub fn from_config(cfg: &SimConfig, retire_width: usize) -> Self {
+        match &cfg.runahead {
+            Some(rc) => SystemHooks::Runahead(Box::new(BranchRunahead::new(*rc, retire_width))),
+            None => SystemHooks::Baseline(NullHooks),
+        }
+    }
+
+    /// The Branch Runahead engine, when attached.
+    #[must_use]
+    pub fn runahead(&self) -> Option<&BranchRunahead> {
+        match self {
+            SystemHooks::Baseline(_) => None,
+            SystemHooks::Runahead(br) => Some(br),
+        }
+    }
+
+    /// Advances the attached engine one cycle after the core's tick (the
+    /// DCE runs in the shadow of the core, consuming its spare resources).
+    fn post_tick(
+        &mut self,
+        cycle: u64,
+        machine: &Machine,
+        mem: &mut MemorySystem,
+        responses: &[MemResp],
+        report: &CycleReport,
+    ) {
+        if let SystemHooks::Runahead(br) = self {
+            br.tick(cycle, machine, mem, responses, report);
+        }
+    }
+}
+
+impl CoreHooks for SystemHooks {
+    fn override_prediction(&mut self, pc: Pc, base: bool, cycle: u64) -> Option<bool> {
+        match self {
+            SystemHooks::Baseline(h) => h.override_prediction(pc, base, cycle),
+            SystemHooks::Runahead(br) => br.override_prediction(pc, base, cycle),
+        }
+    }
+
+    fn on_branch_fetch(&mut self, b: &FetchedBranch) {
+        match self {
+            SystemHooks::Baseline(h) => h.on_branch_fetch(b),
+            SystemHooks::Runahead(br) => br.on_branch_fetch(b),
+        }
+    }
+
+    fn on_mispredict(
+        &mut self,
+        info: &MispredictInfo,
+        wrong_path: &[WrongPathUop],
+        cpu: &CpuState,
+    ) {
+        match self {
+            SystemHooks::Baseline(h) => h.on_mispredict(info, wrong_path, cpu),
+            SystemHooks::Runahead(br) => br.on_mispredict(info, wrong_path, cpu),
+        }
+    }
+
+    fn on_retire(&mut self, u: &RetiredUop) {
+        match self {
+            SystemHooks::Baseline(h) => h.on_retire(u),
+            SystemHooks::Runahead(br) => br.on_retire(u),
+        }
+    }
+
+    fn on_branch_retire(&mut self, b: &BranchOutcome) {
+        match self {
+            SystemHooks::Baseline(h) => h.on_branch_retire(b),
+            SystemHooks::Runahead(br) => br.on_branch_retire(b),
+        }
+    }
+}
 
 /// Results of one simulation run.
 #[derive(Clone, Debug)]
@@ -77,11 +170,13 @@ impl RunResult {
     }
 }
 
-/// A runnable system instance.
+/// A runnable system instance. `System` is `Send`: it is a fully
+/// self-contained unit of work that a sharded runner can move to any
+/// worker thread (see `crate::runner`).
 pub struct System {
     core: Core,
     mem: MemorySystem,
-    runahead: Option<BranchRunahead>,
+    hooks: SystemHooks,
     max_cycles: u64,
     config_name: String,
 }
@@ -95,44 +190,49 @@ impl std::fmt::Debug for System {
 }
 
 impl System {
-    /// Builds a system from a configuration and a workload image.
+    /// Builds a system from a configuration and a shared workload image.
+    /// The image is not consumed: its program is reference-shared and its
+    /// memory pages are copied, so one built image can seed every
+    /// configuration and region of an experiment.
     #[must_use]
-    pub fn new(cfg: SimConfig, image: WorkloadImage) -> Self {
-        let machine = Machine::new(image.memory.into_memory());
-        let mut core = Core::new(cfg.core, image.program, machine, cfg.predictor.build());
+    pub fn new(cfg: SimConfig, image: &WorkloadImage) -> Self {
+        let machine = Machine::new(image.memory.to_memory());
+        let mut core = Core::new(
+            cfg.core,
+            image.program.clone(),
+            machine,
+            cfg.predictor.build(),
+        );
         core.set_max_retired(cfg.max_retired);
-        let runahead = cfg
-            .runahead
-            .map(|rc| BranchRunahead::new(rc, cfg.core.retire_width));
-        let config_name = match &runahead {
+        let hooks = SystemHooks::from_config(&cfg, cfg.core.retire_width);
+        let config_name = match hooks.runahead() {
             Some(br) => format!("{}+br-{}", cfg.predictor.name(), br.config().name),
             None => cfg.predictor.name().to_string(),
         };
         System {
             core,
             mem: MemorySystem::new(cfg.memory),
-            runahead,
+            hooks,
             max_cycles: cfg.max_cycles,
             config_name,
         }
     }
 
     /// Runs to completion (program halt, retired-uop budget, or the cycle
-    /// safety cap) and returns the statistics.
+    /// safety cap) and returns the statistics. Baseline and Branch
+    /// Runahead systems share this single loop: the hooks enum decides
+    /// what observes the core, not the loop.
     pub fn run(&mut self) -> RunResult {
         for cycle in 0..self.max_cycles {
             let responses = self.mem.tick(cycle);
-            let report = match &mut self.runahead {
-                Some(br) => {
-                    let report = self.core.tick(&responses, &mut self.mem, br);
-                    br.tick(cycle, self.core.machine(), &mut self.mem, &responses, &report);
-                    report
-                }
-                None => {
-                    let mut hooks = NullHooks;
-                    self.core.tick(&responses, &mut self.mem, &mut hooks)
-                }
-            };
+            let report = self.core.tick(&responses, &mut self.mem, &mut self.hooks);
+            self.hooks.post_tick(
+                cycle,
+                self.core.machine(),
+                &mut self.mem,
+                &responses,
+                &report,
+            );
             if report.done {
                 break;
             }
@@ -140,7 +240,7 @@ impl System {
         RunResult {
             core: self.core.stats().clone(),
             mem: self.mem.stats(),
-            br: self.runahead.as_ref().map(BranchRunahead::stats),
+            br: self.hooks.runahead().map(BranchRunahead::stats),
             config_name: self.config_name.clone(),
         }
     }
@@ -154,7 +254,7 @@ impl System {
     /// The Branch Runahead system, if enabled.
     #[must_use]
     pub fn runahead(&self) -> Option<&BranchRunahead> {
-        self.runahead.as_ref()
+        self.hooks.runahead()
     }
 }
 
@@ -174,7 +274,7 @@ mod tests {
     fn run_one(mut cfg: SimConfig, name: &str) -> RunResult {
         cfg.max_retired = 60_000;
         let w = workload_by_name(name).unwrap();
-        System::new(cfg, w.build(&small_params())).run()
+        System::new(cfg, &w.build(&small_params())).run()
     }
 
     #[test]
@@ -187,6 +287,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "paper-shape tier (threshold assertion): run with --ignored"]
     fn mini_br_beats_baseline_on_leela() {
         let base = run_one(SimConfig::baseline(), "leela_17");
         let with = run_one(SimConfig::mini_br(), "leela_17");
@@ -205,9 +306,9 @@ mod tests {
         let mut setup = ExperimentSetup::quick();
         setup.max_retired = 20_000;
         setup.workloads = vec!["leela_17".into()];
-        let single = setup.run(SimConfig::baseline(), "leela_17");
+        let single = setup.run(SimConfig::baseline(), "leela_17").unwrap();
         setup.regions = vec![(0, 1.0), (1, 0.5)];
-        let multi = setup.run(SimConfig::baseline(), "leela_17");
+        let multi = setup.run(SimConfig::baseline(), "leela_17").unwrap();
         // Weighted result must lie between the two regions' extremes; a
         // loose sanity bound: within 50% of the single-region MPKI.
         assert!(multi.core.retired_uops >= 20_000);

@@ -56,9 +56,7 @@ impl ExpTable {
             .map(|c| {
                 let vals = self.rows.iter().map(|(_, v)| v[c]);
                 match self.mean {
-                    MeanKind::Arithmetic => {
-                        vals.sum::<f64>() / self.rows.len() as f64
-                    }
+                    MeanKind::Arithmetic => vals.sum::<f64>() / self.rows.len() as f64,
                     MeanKind::GeometricPct => {
                         let prod: f64 = vals.map(|v| (1.0 + v / 100.0).max(1e-9).ln()).sum();
                         ((prod / self.rows.len() as f64).exp() - 1.0) * 100.0
@@ -90,7 +88,11 @@ impl ExpTable {
                 "null".to_string()
             }
         }
-        let series: Vec<String> = self.series.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| format!("\"{}\"", esc(s)))
+            .collect();
         let rows: Vec<String> = self
             .rows
             .iter()
@@ -163,7 +165,11 @@ mod tests {
 
     #[test]
     fn render_includes_everything() {
-        let mut t = ExpTable::new("Figure X", vec!["s1".into(), "s2".into()], MeanKind::Arithmetic);
+        let mut t = ExpTable::new(
+            "Figure X",
+            vec!["s1".into(), "s2".into()],
+            MeanKind::Arithmetic,
+        );
         t.push_row("leela_17", vec![1.0, 2.0]);
         let s = t.to_string();
         assert!(s.contains("Figure X") && s.contains("leela_17") && s.contains("mean"));

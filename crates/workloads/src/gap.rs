@@ -92,7 +92,7 @@ impl Workload for Cc {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("cc assembles"),
+            program: b.build().expect("cc assembles").into(),
             memory: mem,
         }
     }
@@ -120,7 +120,9 @@ impl Workload for Bfs {
         let v = pow2_scale(params.scale * 4, 1024);
         let e = v * 2;
         // ~40% of vertices pre-visited; guarded stores mark more.
-        let mem = graph_data(params.seed ^ 0x0062_6673, v, e, |r| u64::from(r.below(5) < 2));
+        let mem = graph_data(params.seed ^ 0x0062_6673, v, e, |r| {
+            u64::from(r.below(5) < 2)
+        });
 
         let mut b = ProgramBuilder::new();
         let skip = b.new_label();
@@ -144,7 +146,7 @@ impl Workload for Bfs {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("bfs assembles"),
+            program: b.build().expect("bfs assembles").into(),
             memory: mem,
         }
     }
@@ -212,7 +214,7 @@ impl Workload for Tc {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("tc assembles"),
+            program: b.build().expect("tc assembles").into(),
             memory: mem,
         }
     }
@@ -264,7 +266,7 @@ impl Workload for Bc {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("bc assembles"),
+            program: b.build().expect("bc assembles").into(),
             memory: mem,
         }
     }
@@ -319,7 +321,7 @@ impl Workload for Pr {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("pr assembles"),
+            program: b.build().expect("pr assembles").into(),
             memory: mem,
         }
     }
@@ -380,7 +382,7 @@ impl Workload for Sssp {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("sssp assembles"),
+            program: b.build().expect("sssp assembles").into(),
             memory: mem,
         }
     }

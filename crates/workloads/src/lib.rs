@@ -146,7 +146,8 @@ mod tests {
             let a = w.build(&params);
             let b = w.build(&params);
             assert_eq!(
-                a.program, b.program,
+                a.program,
+                b.program,
                 "{} program differs across builds",
                 w.name()
             );
@@ -154,7 +155,12 @@ mod tests {
             let mut mb = Machine::new(b.memory.into_memory());
             ma.run(&a.program, 500_000).unwrap();
             mb.run(&b.program, 500_000).unwrap();
-            assert_eq!(ma.cpu().regs, mb.cpu().regs, "{} nondeterministic", w.name());
+            assert_eq!(
+                ma.cpu().regs,
+                mb.cpu().regs,
+                "{} nondeterministic",
+                w.name()
+            );
         }
     }
 
@@ -192,8 +198,8 @@ mod tests {
                     return false;
                 }
                 let taken = v.iter().filter(|t| **t).count() as f64 / v.len() as f64;
-                let flips = v.windows(2).filter(|w| w[0] != w[1]).count() as f64
-                    / (v.len() - 1) as f64;
+                let flips =
+                    v.windows(2).filter(|w| w[0] != w[1]).count() as f64 / (v.len() - 1) as f64;
                 (0.10..=0.90).contains(&taken) && flips > 0.10
             });
             assert!(hard, "{} has no hard-to-predict branch", w.name());

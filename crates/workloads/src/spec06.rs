@@ -61,7 +61,7 @@ impl Workload for Astar06 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("astar_06 assembles"),
+            program: b.build().expect("astar_06 assembles").into(),
             memory: mem,
         }
     }
@@ -119,7 +119,7 @@ impl Workload for Mcf06 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("mcf_06 assembles"),
+            program: b.build().expect("mcf_06 assembles").into(),
             memory: mem,
         }
     }
@@ -185,7 +185,7 @@ impl Workload for Gcc06 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("gcc_06 assembles"),
+            program: b.build().expect("gcc_06 assembles").into(),
             memory: mem,
         }
     }
@@ -243,7 +243,7 @@ impl Workload for Gobmk06 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("gobmk_06 assembles"),
+            program: b.build().expect("gobmk_06 assembles").into(),
             memory: mem,
         }
     }
@@ -300,7 +300,7 @@ impl Workload for Bzip206 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("bzip2_06 assembles"),
+            program: b.build().expect("bzip2_06 assembles").into(),
             memory: mem,
         }
     }
@@ -359,7 +359,7 @@ impl Workload for Sjeng06 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("sjeng_06 assembles"),
+            program: b.build().expect("sjeng_06 assembles").into(),
             memory: mem,
         }
     }
@@ -413,7 +413,7 @@ impl Workload for Omnetpp06 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("omnetpp_06 assembles"),
+            program: b.build().expect("omnetpp_06 assembles").into(),
             memory: mem,
         }
     }
@@ -459,10 +459,8 @@ mod tests {
         let mut found = false;
         let uops: Vec<_> = image.program.iter().collect();
         for w in uops.windows(2) {
-            if let (
-                br_isa::UopKind::Load { dst, .. },
-                br_isa::UopKind::Load { addr, .. },
-            ) = (w[0].kind, w[1].kind)
+            if let (br_isa::UopKind::Load { dst, .. }, br_isa::UopKind::Load { addr, .. }) =
+                (w[0].kind, w[1].kind)
             {
                 if addr.index == Some(dst) || addr.base == Some(dst) {
                     found = true;

@@ -82,7 +82,7 @@ impl Workload for Mcf17 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("mcf_17 assembles"),
+            program: b.build().expect("mcf_17 assembles").into(),
             memory: mem,
         }
     }
@@ -145,7 +145,7 @@ impl Workload for Leela17 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("leela_17 assembles"),
+            program: b.build().expect("leela_17 assembles").into(),
             memory: mem,
         }
     }
@@ -196,9 +196,19 @@ impl Workload for Xz17 {
         let mismatch = b.new_label();
         // data[p+k] vs data[q+k]
         b.add(reg::R3, reg::R5, reg::R4);
-        b.load_w(reg::R7, MemOperand::base_index(reg::R12, reg::R3, 1, 0), Width::B1, false);
+        b.load_w(
+            reg::R7,
+            MemOperand::base_index(reg::R12, reg::R3, 1, 0),
+            Width::B1,
+            false,
+        );
         b.add(reg::R3, reg::R6, reg::R4);
-        b.load_w(reg::R15, MemOperand::base_index(reg::R12, reg::R3, 1, 0), Width::B1, false);
+        b.load_w(
+            reg::R15,
+            MemOperand::base_index(reg::R12, reg::R3, 1, 0),
+            Width::B1,
+            false,
+        );
         b.cmp(reg::R7, reg::R15);
         b.br(Cond::Ne, mismatch); // hard: geometric exit
         b.addi(reg::R4, reg::R4, 1);
@@ -213,7 +223,7 @@ impl Workload for Xz17 {
         b.bind(outer_end);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("xz_17 assembles"),
+            program: b.build().expect("xz_17 assembles").into(),
             memory: mem,
         }
     }
@@ -261,7 +271,7 @@ impl Workload for Deepsjeng17 {
         emit_xorshift(&mut b, reg::R10, reg::R11);
         b.and(reg::R5, reg::R10, (n - 1) as i64);
         b.shl(reg::R5, reg::R5, 4i64); // ×16
-        // flag = entry.flag; if (flag >= 2) — hard branch (~50%)
+                                       // flag = entry.flag; if (flag >= 2) — hard branch (~50%)
         b.load(reg::R6, MemOperand::base_index(reg::R12, reg::R5, 1, 0));
         b.cmpi(reg::R6, 2);
         b.br(Cond::Lt, skip);
@@ -277,7 +287,7 @@ impl Workload for Deepsjeng17 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("deepsjeng_17 assembles"),
+            program: b.build().expect("deepsjeng_17 assembles").into(),
             memory: mem,
         }
     }
@@ -335,7 +345,7 @@ impl Workload for Omnetpp17 {
         b.br(Cond::Ne, top);
         b.halt();
         WorkloadImage {
-            program: b.build().expect("omnetpp_17 assembles"),
+            program: b.build().expect("omnetpp_17 assembles").into(),
             memory: mem,
         }
     }
@@ -395,7 +405,10 @@ mod tests {
         m.run(&image.program, 2_000_000).unwrap();
         let total = m.reg(reg::R2);
         // Expected match length ~1 per iteration (2-symbol alphabet).
-        assert!(total > 50 && total < 800, "match totals implausible: {total}");
+        assert!(
+            total > 50 && total < 800,
+            "match totals implausible: {total}"
+        );
     }
 
     #[test]

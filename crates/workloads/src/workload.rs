@@ -1,5 +1,7 @@
 //! The workload abstraction.
 
+use std::sync::Arc;
+
 use br_isa::{MemoryImage, Program};
 
 /// Which benchmark suite a kernel mirrors.
@@ -24,7 +26,7 @@ impl std::fmt::Display for Suite {
 }
 
 /// Build-time parameters shared by all kernels.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct WorkloadParams {
     /// Data-structure scale (table entries, vertices, ...). Kernels clamp
     /// this to a sane minimum.
@@ -47,16 +49,24 @@ impl Default for WorkloadParams {
 }
 
 /// A built workload: the program plus its initial memory.
-#[derive(Debug)]
+///
+/// The program is behind an [`Arc`] so one built image can seed many
+/// simulation runs (every configuration of an experiment, on any worker
+/// thread) without rebuilding or copying the kernel; cloning the image is
+/// a reference-count bump plus a page-table copy.
+#[derive(Clone, Debug)]
 pub struct WorkloadImage {
-    /// The micro-op program.
-    pub program: Program,
+    /// The micro-op program, shared between all runs of this image.
+    pub program: Arc<Program>,
     /// Initial data memory.
     pub memory: MemoryImage,
 }
 
 /// A synthetic benchmark kernel.
-pub trait Workload {
+///
+/// `Send + Sync` is required so workload registries can be consulted from
+/// worker threads; kernels are stateless generators, so this is free.
+pub trait Workload: Send + Sync {
     /// Short identifier matching the paper's figures (e.g. `"leela_17"`).
     fn name(&self) -> &'static str;
 

@@ -26,7 +26,7 @@ fn main() {
 
     let mut cfg = SimConfig::mini_br();
     cfg.max_retired = 300_000;
-    let mut sys = System::new(cfg, image);
+    let mut sys = System::new(cfg, &image);
     let result = sys.run();
     let br_sys = sys.runahead().expect("BR enabled");
 

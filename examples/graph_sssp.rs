@@ -15,6 +15,7 @@ use branch_runahead::workloads::{workload_by_name, WorkloadParams};
 fn main() {
     let w = workload_by_name("sssp").expect("sssp registered");
     let params = WorkloadParams::default();
+    let image = w.build(&params);
     println!("workload: {} — {}\n", w.name(), w.description());
 
     let configs: Vec<(&str, SimConfig)> = vec![
@@ -31,7 +32,7 @@ fn main() {
     );
     for (name, mut cfg) in configs {
         cfg.max_retired = 300_000;
-        let r = System::new(cfg, w.build(&params)).run();
+        let r = System::new(cfg, &image).run();
         let improvement = match base_mpki {
             None => {
                 base_mpki = Some(r.mpki());

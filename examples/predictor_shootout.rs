@@ -23,7 +23,12 @@ fn measure(p: &mut dyn ConditionalPredictor, name: &str, workload: &str) {
     while !m.halted() && m.steps() < 3_000_000 {
         let rec = m.step(&image.program, None).expect("kernel runs");
         if let Some(b) = rec.branch {
-            if image.program.fetch(rec.pc).expect("fetched").is_cond_branch() {
+            if image
+                .program
+                .fetch(rec.pc)
+                .expect("fetched")
+                .is_cond_branch()
+            {
                 let pred = p.predict(rec.pc);
                 branches += 1;
                 if pred.taken != b.actual_taken {

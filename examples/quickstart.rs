@@ -17,28 +17,19 @@ fn main() {
     let params = WorkloadParams::default();
     println!("workload: {} — {}", w.name(), w.description());
 
+    let image = w.build(&params);
     let mut cfg = SimConfig::baseline();
     cfg.max_retired = 300_000;
-    let base = System::new(cfg.clone(), w.build(&params)).run();
+    let base = System::new(cfg.clone(), &image).run();
 
     let mut cfg_br = SimConfig::mini_br();
     cfg_br.max_retired = 300_000;
-    let mut sys = System::new(cfg_br, w.build(&params));
+    let mut sys = System::new(cfg_br, &image);
     let with = sys.run();
 
     println!("\n{:<22}{:>14}{:>14}", "", "tage-sc-l-64kb", "mini-br");
-    println!(
-        "{:<22}{:>14.3}{:>14.3}",
-        "IPC",
-        base.ipc(),
-        with.ipc()
-    );
-    println!(
-        "{:<22}{:>14.2}{:>14.2}",
-        "MPKI",
-        base.mpki(),
-        with.mpki()
-    );
+    println!("{:<22}{:>14.3}{:>14.3}", "IPC", base.ipc(), with.ipc());
+    println!("{:<22}{:>14.2}{:>14.2}", "MPKI", base.mpki(), with.mpki());
     println!(
         "{:<22}{:>14}{:>14}",
         "mispredicts", base.core.mispredicts, with.core.mispredicts

@@ -29,11 +29,7 @@ fn main() {
         while !m.halted() && m.steps() < 3_000_000 {
             let rec = m.step(&image.program, None).expect("kernel runs");
             if let Some(b) = rec.branch {
-                if image
-                    .program
-                    .fetch(rec.pc)
-                    .is_some_and(br_isa_is_cond)
-                {
+                if image.program.fetch(rec.pc).is_some_and(br_isa_is_cond) {
                     outcomes.entry(rec.pc).or_default().push(b.actual_taken);
                 }
             }

@@ -31,9 +31,8 @@
 //! let leela = workload_by_name("leela_17").unwrap();
 //! let image = leela.build(&WorkloadParams::default());
 //!
-//! let base = System::new(SimConfig::baseline(), image).run();
-//! let image = leela.build(&WorkloadParams::default());
-//! let with = System::new(SimConfig::mini_br(), image).run();
+//! let base = System::new(SimConfig::baseline(), &image).run();
+//! let with = System::new(SimConfig::mini_br(), &image).run();
 //!
 //! println!(
 //!     "MPKI {:.2} -> {:.2} ({:+.1}%), IPC {:.3} -> {:.3}",

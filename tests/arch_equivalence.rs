@@ -4,8 +4,6 @@
 //! must compute exactly the same architectural state as the functional
 //! emulator. This is the strongest cross-crate invariant in the system.
 
-use proptest::prelude::*;
-
 use branch_runahead::isa::{
     reg, ArchReg, Cond, Machine, MemOperand, MemoryImage, Program, ProgramBuilder,
 };
@@ -39,18 +37,44 @@ fn gpr(i: u8) -> ArchReg {
     GPRS[i as usize % GPRS.len()]
 }
 
-fn gen_op() -> impl Strategy<Value = GenOp> {
-    prop_oneof![
-        3 => (any::<u8>(), any::<u8>(), any::<i16>()).prop_map(|(d, s, i)| GenOp::Add(d, s, i)),
-        3 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b)| GenOp::Sub(d, a, b)),
-        3 => (any::<u8>(), any::<u8>()).prop_map(|(d, s)| GenOp::Mul(d, s)),
-        3 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b)| GenOp::Xor(d, a, b)),
-        3 => (any::<u8>(), any::<u8>(), 0u8..6).prop_map(|(d, s, k)| GenOp::Shift(d, s, k)),
-        3 => (any::<u8>(), any::<u8>()).prop_map(|(d, a)| GenOp::Load(d, a)),
-        3 => (any::<u8>(), any::<u8>()).prop_map(|(v, a)| GenOp::Store(v, a)),
-        3 => (any::<u8>(), 1u8..8, 1u8..4).prop_map(|(r, m, n)| GenOp::Branch(r, m, n)),
-        2 => Just(GenOp::CallHelper),
-    ]
+/// Deterministic xorshift64 generator for case generation (the container
+/// builds hermetically, so no external property-testing dependency).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn gen_op(rng: &mut Rng) -> GenOp {
+    // Weights 3×8 : 2, as in the original strategy.
+    match rng.below(26) {
+        0..=2 => GenOp::Add(rng.next() as u8, rng.next() as u8, rng.next() as i16),
+        3..=5 => GenOp::Sub(rng.next() as u8, rng.next() as u8, rng.next() as u8),
+        6..=8 => GenOp::Mul(rng.next() as u8, rng.next() as u8),
+        9..=11 => GenOp::Xor(rng.next() as u8, rng.next() as u8, rng.next() as u8),
+        12..=14 => GenOp::Shift(rng.next() as u8, rng.next() as u8, rng.below(6) as u8),
+        15..=17 => GenOp::Load(rng.next() as u8, rng.next() as u8),
+        18..=20 => GenOp::Store(rng.next() as u8, rng.next() as u8),
+        21..=23 => GenOp::Branch(
+            rng.next() as u8,
+            1 + rng.below(7) as u8,
+            1 + rng.below(3) as u8,
+        ),
+        _ => GenOp::CallHelper,
+    }
 }
 
 /// Builds a bounded program: `trips` iterations of a loop whose body is
@@ -166,30 +190,36 @@ fn core_state(program: &Program, with_br: bool) -> Vec<u64> {
     panic!("core did not finish");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        max_shrink_iters: 64,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn core_matches_functional_reference(
-        ops in prop::collection::vec(gen_op(), 1..24),
-        trips in 1u8..24,
-    ) {
+#[test]
+fn core_matches_functional_reference() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0xa5a5_5a5a ^ (case << 32) ^ case);
+        let n_ops = 1 + rng.below(23) as usize;
+        let ops: Vec<GenOp> = (0..n_ops).map(|_| gen_op(&mut rng)).collect();
+        let trips = 1 + rng.below(23) as u8;
         let program = build_program(&ops, trips);
         let expected = reference_state(&program);
-        prop_assert_eq!(&core_state(&program, false), &expected);
+        assert_eq!(
+            core_state(&program, false),
+            expected,
+            "case {case}: {ops:?} trips={trips}"
+        );
     }
+}
 
-    #[test]
-    fn core_with_branch_runahead_matches_reference(
-        ops in prop::collection::vec(gen_op(), 1..20),
-        trips in 1u8..16,
-    ) {
+#[test]
+fn core_with_branch_runahead_matches_reference() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x1357_9bdf ^ (case << 32) ^ case);
+        let n_ops = 1 + rng.below(19) as usize;
+        let ops: Vec<GenOp> = (0..n_ops).map(|_| gen_op(&mut rng)).collect();
+        let trips = 1 + rng.below(15) as u8;
         let program = build_program(&ops, trips);
         let expected = reference_state(&program);
-        prop_assert_eq!(&core_state(&program, true), &expected);
+        assert_eq!(
+            core_state(&program, true),
+            expected,
+            "case {case}: {ops:?} trips={trips}"
+        );
     }
 }

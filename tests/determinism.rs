@@ -1,0 +1,69 @@
+//! Parallel execution must be invisible in the results: the sharded
+//! runner returns results in job order and every simulation is
+//! deterministic, so any thread count must produce bit-identical tables.
+
+use branch_runahead::sim::experiments::{self, ExperimentSetup};
+use branch_runahead::sim::{run_jobs, SimConfig};
+use branch_runahead::workloads::WorkloadParams;
+
+fn tiny(threads: usize) -> ExperimentSetup {
+    let mut s = ExperimentSetup::quick();
+    s.params = WorkloadParams {
+        scale: 512,
+        iterations: 1_000_000,
+        seed: 0xd15c,
+    };
+    s.max_retired = 8_000;
+    s.workloads = vec!["leela_17".into(), "bfs".into()];
+    s.threads = threads;
+    s
+}
+
+/// The tentpole acceptance check: `--threads 4` produces bit-identical
+/// `ExpTable` output to the sequential path on the quick setup.
+#[test]
+fn threads_4_matches_sequential_tables() {
+    let seq = tiny(1);
+    let par = tiny(4);
+    let t1 = experiments::fig2(&seq).unwrap();
+    let t4 = experiments::fig2(&par).unwrap();
+    assert_eq!(t1.to_json(), t4.to_json(), "fig2 diverged across threads");
+    let (m1, i1) = experiments::fig10(&seq).unwrap();
+    let (m4, i4) = experiments::fig10(&par).unwrap();
+    assert_eq!(m1.to_json(), m4.to_json(), "fig10 MPKI diverged");
+    assert_eq!(i1.to_json(), i4.to_json(), "fig10 IPC diverged");
+}
+
+/// Same property through the multi-region weighted-aggregation path.
+#[test]
+fn regions_aggregate_identically_across_thread_counts() {
+    let seq = tiny(1).with_regions(3);
+    let par = tiny(4).with_regions(3);
+    let r1 = seq.run(SimConfig::mini_br(), "leela_17").unwrap();
+    let r4 = par.run(SimConfig::mini_br(), "leela_17").unwrap();
+    assert_eq!(r1.core.cycles, r4.core.cycles);
+    assert_eq!(r1.core.retired_uops, r4.core.retired_uops);
+    assert_eq!(r1.core.mispredicts, r4.core.mispredicts);
+    assert_eq!(
+        r1.br.as_ref().map(|b| b.dce_uops),
+        r4.br.as_ref().map(|b| b.dce_uops)
+    );
+}
+
+/// Raw runner level: results come back in job order with auto threads.
+#[test]
+fn runner_preserves_job_order_with_auto_threads() {
+    let setup = tiny(0);
+    let mut jobs = Vec::new();
+    for w in &setup.workloads {
+        jobs.extend(setup.jobs(&SimConfig::baseline(), w));
+        jobs.extend(setup.jobs(&SimConfig::mini_br(), w));
+    }
+    let auto = run_jobs(&jobs, 0).unwrap();
+    let seq = run_jobs(&jobs, 1).unwrap();
+    for (a, s) in auto.iter().zip(&seq) {
+        assert_eq!(a.config_name, s.config_name);
+        assert_eq!(a.core.cycles, s.core.cycles);
+        assert_eq!(a.core.mispredicts, s.core.mispredicts);
+    }
+}

@@ -16,7 +16,7 @@ fn small_params(iterations: u64) -> WorkloadParams {
 fn run(mut cfg: SimConfig, workload: &str, params: &WorkloadParams, retired: u64) -> RunResult {
     cfg.max_retired = retired;
     let w = workload_by_name(workload).expect("registered workload");
-    System::new(cfg, w.build(params)).run()
+    System::new(cfg, &w.build(params)).run()
 }
 
 /// The timing simulator must be architecturally transparent: running a
@@ -40,7 +40,7 @@ fn simulation_preserves_architecture() {
             cfg.max_retired = u64::MAX; // run to halt
             cfg.max_cycles = 30_000_000;
             let w = workload_by_name(name).unwrap();
-            let mut sys = System::new(cfg, w.build(&params));
+            let mut sys = System::new(cfg, &w.build(&params));
             let r = sys.run();
             assert!(
                 r.core.retired_uops > 1000,
@@ -61,6 +61,7 @@ fn simulation_preserves_architecture() {
 /// The headline result (Figure 10's direction): Branch Runahead reduces
 /// MPKI and increases IPC on branch-misprediction-bound kernels.
 #[test]
+#[ignore = "paper-shape tier (threshold assertions): run with --ignored"]
 fn branch_runahead_improves_most_workloads() {
     let params = WorkloadParams {
         scale: 2048,
@@ -100,6 +101,7 @@ fn branch_runahead_improves_most_workloads() {
 /// Figure 10's configuration ordering: Core-Only ≤ Mini ≤ Big (within
 /// noise), and the 80 KB TAGE gains almost nothing.
 #[test]
+#[ignore = "paper-shape tier (threshold assertions): run with --ignored"]
 fn configuration_ordering_matches_paper() {
     let params = small_params(1_000_000);
     let names = ["leela_17", "bfs"];
@@ -138,7 +140,7 @@ fn all_workloads_simulate() {
     for w in all_workloads() {
         let mut cfg = SimConfig::baseline();
         cfg.max_retired = 20_000;
-        let mut sys = System::new(cfg, w.build(&params));
+        let mut sys = System::new(cfg, &w.build(&params));
         let r = sys.run();
         assert!(
             r.core.retired_uops >= 20_000,

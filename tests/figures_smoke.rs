@@ -15,12 +15,13 @@ fn setup() -> ExperimentSetup {
         max_retired: 60_000,
         workloads: vec!["leela_17".into(), "mcf_06".into(), "bfs".into()],
         regions: vec![(0, 1.0)],
+        threads: 1,
     }
 }
 
 #[test]
 fn fig1_shape_chains_beat_history_predictors() {
-    let t = experiments::fig1(&setup());
+    let t = experiments::fig1(&setup()).unwrap();
     let mean = t.mean_row();
     let (tage, mtage, chains) = (mean[0], mean[1], mean[2]);
     assert!(
@@ -39,7 +40,7 @@ fn fig1_shape_chains_beat_history_predictors() {
 
 #[test]
 fn fig2_chains_short() {
-    let t = experiments::fig2(&setup());
+    let t = experiments::fig2(&setup()).unwrap();
     let mean = t.mean_row()[0];
     assert!(
         mean > 1.0 && mean <= 16.0,
@@ -49,7 +50,7 @@ fn fig2_chains_short() {
 
 #[test]
 fn fig3_overhead_bounded() {
-    let t = experiments::fig3(&setup());
+    let t = experiments::fig3(&setup()).unwrap();
     let uops = t.mean_row()[0];
     // The DCE adds uops, but Branch Runahead also removes wrong-path work
     // (fewer mispredictions → fewer squashes), so the *net* change can be
@@ -67,15 +68,18 @@ fn fig3_overhead_bounded() {
 
 #[test]
 fn fig5_guard_chains_exist() {
-    let t = experiments::fig5(&setup());
+    let t = experiments::fig5(&setup()).unwrap();
     // leela has an explicit guard structure; its chains must reflect it.
     let leela = t.value("leela_17", "with-ag").expect("leela row");
-    assert!(leela > 5.0, "leela chains should see affector/guards: {leela:.1}%");
+    assert!(
+        leela > 5.0,
+        "leela chains should see affector/guards: {leela:.1}%"
+    );
 }
 
 #[test]
 fn fig11_bottom_initiation_ordering() {
-    let t = experiments::fig11_bottom(&setup());
+    let t = experiments::fig11_bottom(&setup()).unwrap();
     let m = t.mean_row();
     let (nonspec, indep, pred) = (m[0], m[1], m[2]);
     // The paper's ordering: predictive ≥ independent-early ≥ non-spec
@@ -92,7 +96,7 @@ fn fig11_bottom_initiation_ordering() {
 
 #[test]
 fn fig12_fractions_partition() {
-    let t = experiments::fig12(&setup());
+    let t = experiments::fig12(&setup()).unwrap();
     for (w, vals) in &t.rows {
         let sum: f64 = vals.iter().sum();
         assert!(
@@ -112,7 +116,7 @@ fn fig12_fractions_partition() {
 
 #[test]
 fn fig14_energy_not_catastrophic() {
-    let t = experiments::fig14(&setup());
+    let t = experiments::fig14(&setup()).unwrap();
     let m = t.mean_row();
     // Figure 14: BR decreases energy on average (run-time savings); allow
     // modest increases on reduced runs but nothing catastrophic.
@@ -125,7 +129,7 @@ fn fig14_energy_not_catastrophic() {
 
 #[test]
 fn ablations_do_not_beat_the_full_design_badly() {
-    let t = experiments::ablations(&setup());
+    let t = experiments::ablations(&setup()).unwrap();
     let m = t.mean_row();
     let (full, inorder, noag) = (m[0], m[1], m[2]);
     // The full design should be at least competitive with each ablation
@@ -151,15 +155,12 @@ fn fig10_stable_across_seeds() {
     for seed in [0x1111u64, 0x2222, 0x3333] {
         let mut s = setup();
         s.params.seed = seed;
-        let (mpki, _) = experiments::fig10(&s);
+        let (mpki, _) = experiments::fig10(&s).unwrap();
         means.push(mpki.mean_row()[2]); // mini column
     }
     let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    assert!(
-        min > 20.0,
-        "mini BR must deliver on every seed: {means:?}"
-    );
+    assert!(min > 20.0, "mini BR must deliver on every seed: {means:?}");
     assert!(
         max - min < 35.0,
         "improvement too seed-sensitive: {means:?}"
@@ -168,7 +169,7 @@ fn fig10_stable_across_seeds() {
 
 #[test]
 fn merge_point_accuracy_high() {
-    let t = experiments::merge_point(&setup());
+    let t = experiments::merge_point(&setup()).unwrap();
     for (w, vals) in &t.rows {
         let (acc, validated) = (vals[0], vals[1]);
         if validated >= 3.0 {
