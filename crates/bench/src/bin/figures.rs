@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! figures [--quick] [--json] [--threads N] [--retired N] [--regions K]
-//!         [--workloads a,b,c] <experiment>|all
+//!         [--workloads a,b,c] [--telemetry-out DIR] [--sample-interval N]
+//!         [<experiment>|all]
 //! ```
 
 use std::process::ExitCode;
 
-use br_bench::{run_experiment, run_experiment_json, EXPERIMENTS};
+use br_bench::{export_telemetry, run_experiment, run_experiment_json, EXPERIMENTS};
 use br_sim::experiments::ExperimentSetup;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: figures [--quick] [--json] [--threads N] [--retired N] [--regions K] [--workloads a,b,c] <experiment>|all\n\
-         \x20 --threads N   run simulations on N worker threads (0 = one per CPU; default 1)\n\
+        "usage: figures [--quick] [--json] [--threads N] [--retired N] [--regions K] [--workloads a,b,c] [--telemetry-out DIR] [--sample-interval N] <experiment>|all\n\
+         \x20 --threads N          run simulations on N worker threads (0 = one per CPU; default 1)\n\
+         \x20 --telemetry-out DIR  also run the workloads with telemetry enabled and write\n\
+         \x20                      trace.json/samples.{{jsonl,csv}}/events.jsonl/counters.json to DIR\n\
+         \x20 --sample-interval N  telemetry sample cadence in retired uops (default 10000)\n\
          experiments: {}",
         EXPERIMENTS.join(", ")
     );
@@ -25,6 +29,7 @@ fn main() -> ExitCode {
     let mut targets: Vec<String> = Vec::new();
     let mut json = false;
     let mut threads = setup.threads;
+    let mut telemetry_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -55,12 +60,24 @@ fn main() -> ExitCode {
                 };
                 setup.workloads = list.split(',').map(str::to_string).collect();
             }
+            "--telemetry-out" => {
+                let Some(dir) = args.next() else {
+                    return usage();
+                };
+                telemetry_out = Some(dir.into());
+            }
+            "--sample-interval" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                setup.telemetry.sample_interval = n;
+            }
             "--help" | "-h" => return usage(),
             name => targets.push(name.to_string()),
         }
     }
     setup.threads = threads;
-    if targets.is_empty() {
+    if targets.is_empty() && telemetry_out.is_none() {
         return usage();
     }
     if targets.iter().any(|t| t == "all") {
@@ -87,6 +104,21 @@ fn main() -> ExitCode {
             }
         }
         eprintln!("[{t}: {:.1}s]", started.elapsed().as_secs_f64());
+    }
+    if let Some(dir) = telemetry_out {
+        let started = std::time::Instant::now();
+        match export_telemetry(&setup, &dir) {
+            Ok(files) => {
+                for f in files {
+                    eprintln!("wrote {}", f.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: telemetry export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("[telemetry: {:.1}s]", started.elapsed().as_secs_f64());
     }
     ExitCode::SUCCESS
 }

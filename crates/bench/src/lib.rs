@@ -20,8 +20,11 @@
 
 #![warn(missing_docs)]
 
+use std::path::{Path, PathBuf};
+
 use br_sim::experiments::{self, ExperimentSetup};
-use br_sim::SimError;
+use br_sim::{run_jobs, SimConfig, SimError, TelemetryRun};
+use br_telemetry::export;
 
 /// Names accepted by the `figures` binary.
 pub const EXPERIMENTS: &[&str] = &[
@@ -129,6 +132,51 @@ pub fn run_experiment(name: &str, setup: &ExperimentSetup) -> Result<String, Sim
         "area" => experiments::area_report(),
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     })
+}
+
+/// Runs the setup's workloads under Mini Branch Runahead with telemetry
+/// enabled and writes every exporter's output into `dir`:
+/// `trace.json` (Chrome trace viewer), `samples.jsonl` / `samples.csv`
+/// (interval samples), `events.jsonl` (the event ring), and
+/// `counters.json` (final counter/gauge/histogram values). Jobs execute
+/// on `setup.threads` workers; the files are assembled from results in
+/// job order, so output is byte-identical for any thread count. Returns
+/// the written paths.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] (wrapped as [`std::io::Error`]) and any
+/// filesystem error from creating `dir` or writing the files.
+pub fn export_telemetry(setup: &ExperimentSetup, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut setup = setup.clone();
+    setup.telemetry.enabled = true;
+    let jobs: Vec<br_sim::SimJob> = setup
+        .workloads
+        .clone()
+        .iter()
+        .flat_map(|w| setup.jobs(&SimConfig::mini_br(), w))
+        .collect();
+    let results = run_jobs(&jobs, setup.threads).map_err(std::io::Error::other)?;
+    let runs: Vec<(String, TelemetryRun)> = jobs
+        .iter()
+        .zip(results)
+        .filter_map(|(job, r)| r.telemetry.map(|t| (job.label(), t)))
+        .collect();
+    std::fs::create_dir_all(dir)?;
+    let files: [(&str, String); 5] = [
+        ("trace.json", export::chrome_trace(&runs)),
+        ("samples.jsonl", export::samples_jsonl(&runs)),
+        ("samples.csv", export::samples_csv(&runs)),
+        ("events.jsonl", export::events_jsonl(&runs)),
+        ("counters.json", export::counters_json(&runs)),
+    ];
+    let mut written = Vec::with_capacity(files.len());
+    for (name, contents) in files {
+        let path = dir.join(name);
+        std::fs::write(&path, contents)?;
+        written.push(path);
+    }
+    Ok(written)
 }
 
 #[cfg(test)]

@@ -24,6 +24,8 @@ pub struct DependenceChainCache {
     entries: Vec<CacheEntry>,
     tick: u64,
     installs: u64,
+    lookups: u64,
+    hits: u64,
 }
 
 impl DependenceChainCache {
@@ -40,6 +42,8 @@ impl DependenceChainCache {
             entries: Vec::new(),
             tick: 0,
             installs: 0,
+            lookups: 0,
+            hits: 0,
         }
     }
 
@@ -81,15 +85,21 @@ impl DependenceChainCache {
     /// their LRU position.
     pub fn lookup(&mut self, pc: Pc, outcome: bool) -> Vec<Arc<DependenceChain>> {
         self.tick += 1;
+        self.lookups += 1;
         let tick = self.tick;
-        self.entries
+        let chains: Vec<_> = self
+            .entries
             .iter_mut()
             .filter(|e| e.chain.tag.matches(pc, outcome))
             .map(|e| {
                 e.lru = tick;
                 Arc::clone(&e.chain)
             })
-            .collect()
+            .collect();
+        if !chains.is_empty() {
+            self.hits += 1;
+        }
+        chains
     }
 
     /// Whether any cached chain would match the `(pc, outcome)` event
@@ -135,6 +145,14 @@ impl DependenceChainCache {
     #[must_use]
     pub fn installs(&self) -> u64 {
         self.installs
+    }
+
+    /// Lifetime `(lookups, hits)` where a hit is a lookup matching at
+    /// least one chain. Telemetry turns the deltas into an interval hit
+    /// rate.
+    #[must_use]
+    pub fn lookup_stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
     }
 }
 

@@ -81,6 +81,8 @@ pub struct HardBranchTable {
     entries: Vec<HbtEntry>,
     retired_branches: u64,
     lfsr: u32,
+    inserts: u64,
+    evicts: u64,
 }
 
 impl HardBranchTable {
@@ -97,6 +99,8 @@ impl HardBranchTable {
             entries: Vec::new(),
             retired_branches: 0,
             lfsr: 0x1d5f,
+            inserts: 0,
+            evicts: 0,
         }
     }
 
@@ -133,12 +137,15 @@ impl HardBranchTable {
             // Allocate on retire if space (or a dead entry) is available.
             if self.entries.len() < self.capacity {
                 self.entries.push(HbtEntry::new(pc));
+                self.inserts += 1;
             } else if let Some(victim) = self
                 .entries
                 .iter_mut()
                 .find(|e| e.misp_counter == 0 && !e.ag)
             {
                 *victim = HbtEntry::new(pc);
+                self.inserts += 1;
+                self.evicts += 1;
             }
         }
 
@@ -219,6 +226,7 @@ impl HardBranchTable {
                     let mut e = HbtEntry::new(ag_pc);
                     e.ag = true;
                     self.entries.push(e);
+                    self.inserts += 1;
                 } else if let Some(victim) = self
                     .entries
                     .iter_mut()
@@ -226,6 +234,8 @@ impl HardBranchTable {
                 {
                     *victim = HbtEntry::new(ag_pc);
                     victim.ag = true;
+                    self.inserts += 1;
+                    self.evicts += 1;
                 }
             }
         }
@@ -256,6 +266,14 @@ impl HardBranchTable {
     #[must_use]
     pub fn is_hard(&self, pc: Pc) -> bool {
         self.get(pc).is_some_and(HbtEntry::is_hard)
+    }
+
+    /// Lifetime allocation churn as `(inserts, evicts)`: every entry
+    /// allocation counts as an insert, and an insert that overwrote a live
+    /// victim also counts as an evict. Telemetry polls the deltas.
+    #[must_use]
+    pub fn churn(&self) -> (u64, u64) {
+        (self.inserts, self.evicts)
     }
 
     /// Number of resident entries.

@@ -95,6 +95,6 @@ pub use dce::DependenceChainEngine;
 pub use extract::{extract_chain, ExtractLimits, ExtractOutcome};
 pub use hbt::{HardBranchTable, HbtEntry};
 pub use pqueue::{FetchVerdict, PredictionQueues};
-pub use runahead::BranchRunahead;
+pub use runahead::{BrLiveState, BranchRunahead};
 pub use stats::{BrStats, PredictionCategory};
 pub use wpb::{MergeEvent, WrongPathBuffer};

@@ -311,6 +311,13 @@ impl PredictionQueues {
         self.queues.len()
     }
 
+    /// Live (allocated, not yet retired) slots summed over every queue —
+    /// the prediction-queue depth telemetry samples.
+    #[must_use]
+    pub fn occupied_slots(&self) -> usize {
+        self.queues.values().map(|q| q.slots.len()).sum()
+    }
+
     /// Whether no queues exist.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -13,6 +13,7 @@ use br_mem::{MemResp, MemorySystem};
 use br_ooo::{
     BranchOutcome, CoreHooks, CycleReport, FetchedBranch, MispredictInfo, RetiredUop, WrongPathUop,
 };
+use br_telemetry::{CounterId, EventKind, GaugeId, HistId, Telemetry};
 
 use crate::agdetect::PoisonDetector;
 use crate::ceb::{CebRecord, ChainExtractionBuffer};
@@ -55,6 +56,55 @@ struct MergeValidation {
     tracking: Option<(bool, usize, bool, bool)>,
 }
 
+/// Pre-registered telemetry ids for the engine's instrumentation sites
+/// (inert defaults when the sink is disabled).
+#[derive(Clone, Copy, Debug, Default)]
+struct BrTeleIds {
+    extraction_attempts: CounterId,
+    chains_extracted: CounterId,
+    extraction_rejects: CounterId,
+    dce_flushes: CounterId,
+    dce_syncs: CounterId,
+    merge_events: CounterId,
+    hbt_inserts: CounterId,
+    hbt_evicts: CounterId,
+    chain_len: HistId,
+    cached_chains: GaugeId,
+}
+
+impl BrTeleIds {
+    fn register(tele: &mut Telemetry) -> Self {
+        BrTeleIds {
+            extraction_attempts: tele.counter("br.extraction_attempts"),
+            chains_extracted: tele.counter("br.chains_extracted"),
+            extraction_rejects: tele.counter("br.extraction_rejects"),
+            dce_flushes: tele.counter("br.dce_flushes"),
+            dce_syncs: tele.counter("br.dce_syncs"),
+            merge_events: tele.counter("br.merge_events"),
+            hbt_inserts: tele.counter("br.hbt_inserts"),
+            hbt_evicts: tele.counter("br.hbt_evicts"),
+            chain_len: tele.histogram("br.chain_len"),
+            cached_chains: tele.gauge("br.cached_chains"),
+        }
+    }
+}
+
+/// Point-in-time occupancy of the Branch Runahead structures, read by the
+/// interval sampler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BrLiveState {
+    /// Chain instances currently executing in the DCE.
+    pub dce_active: usize,
+    /// Live prediction-queue slots across all queues.
+    pub queue_slots: usize,
+    /// Chains resident in the dependence chain cache.
+    pub cached_chains: usize,
+    /// Lifetime chain-cache lookups.
+    pub cache_lookups: u64,
+    /// Lifetime chain-cache lookups that matched at least one chain.
+    pub cache_hits: u64,
+}
+
 /// The Branch Runahead system. Implements [`CoreHooks`]; call
 /// [`BranchRunahead::tick`] once per cycle after the core's tick.
 pub struct BranchRunahead {
@@ -73,6 +123,11 @@ pub struct BranchRunahead {
     consumptions: HashMap<u64, Consumption>,
     checkpoints: HashMap<u64, QueueCheckpoint>,
     validations: HashMap<Pc, MergeValidation>,
+
+    tele: Telemetry,
+    tids: BrTeleIds,
+    /// HBT `(inserts, evicts)` at the last telemetry poll.
+    last_hbt_churn: (u64, u64),
 }
 
 impl std::fmt::Debug for BranchRunahead {
@@ -104,7 +159,36 @@ impl BranchRunahead {
             consumptions: HashMap::new(),
             checkpoints: HashMap::new(),
             validations: HashMap::new(),
+            tele: Telemetry::off(),
+            tids: BrTeleIds::default(),
+            last_hbt_churn: (0, 0),
             cfg,
+        }
+    }
+
+    /// Attaches a telemetry sink; the engine registers its metrics against
+    /// it and records into it until [`BranchRunahead::take_telemetry`].
+    pub fn attach_telemetry(&mut self, mut tele: Telemetry) {
+        self.tids = BrTeleIds::register(&mut tele);
+        self.tele = tele;
+        self.last_hbt_churn = self.hbt.churn();
+    }
+
+    /// Detaches and returns the telemetry sink (a disabled sink remains).
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.tele)
+    }
+
+    /// Current occupancy of the engine's structures (interval sampling).
+    #[must_use]
+    pub fn live_state(&self) -> BrLiveState {
+        let (cache_lookups, cache_hits) = self.cache.lookup_stats();
+        BrLiveState {
+            dce_active: self.dce.active_instances(),
+            queue_slots: self.queues.occupied_slots(),
+            cached_chains: self.cache.len(),
+            cache_lookups,
+            cache_hits,
         }
     }
 
@@ -159,8 +243,9 @@ impl BranchRunahead {
         &self.hbt
     }
 
-    fn run_extraction(&mut self, pc: Pc) {
+    fn run_extraction(&mut self, pc: Pc, cycle: u64) {
         self.stats.extraction_attempts += 1;
+        self.tele.add(self.tids.extraction_attempts, 1);
         let mut ag = self.hbt.affector_guards(pc);
         if !self.cfg.enable_affector_guards {
             ag.clear();
@@ -178,9 +263,19 @@ impl BranchRunahead {
                     self.stats.chains_with_ag += 1;
                 }
                 self.stats.uops_eliminated += chain.eliminated_uops as u64;
+                self.tele.add(self.tids.chains_extracted, 1);
+                self.tele.record(self.tids.chain_len, chain.len() as u64);
+                self.tele
+                    .event(cycle, EventKind::ChainExtract, pc, chain.len() as u64);
                 self.cache.install(chain);
+                self.tele
+                    .set_gauge(self.tids.cached_chains, self.cache.len() as i64);
             }
-            Err(_) => self.stats.extraction_rejects += 1,
+            Err(_) => {
+                self.stats.extraction_rejects += 1;
+                self.tele.add(self.tids.extraction_rejects, 1);
+                self.tele.event(cycle, EventKind::ChainReject, pc, 0);
+            }
         }
     }
 
@@ -301,9 +396,23 @@ impl CoreHooks for BranchRunahead {
             if info.base_prediction == info.actual_taken {
                 self.queues.penalize(info.pc);
             }
+            self.tele.add(self.tids.dce_flushes, 1);
+            self.tele.event(
+                info.cycle,
+                EventKind::DceFlush,
+                info.pc,
+                self.dce.active_instances() as u64,
+            );
             self.dce.flush_all(&mut self.queues, &mut self.stats);
             self.queues.clear_all();
             if self.cache.has_match(info.pc, info.actual_taken) {
+                self.tele.add(self.tids.dce_syncs, 1);
+                self.tele.event(
+                    info.cycle,
+                    EventKind::DceSync,
+                    info.pc,
+                    u64::from(info.actual_taken),
+                );
                 self.dce.sync_initiate(
                     info.pc,
                     info.actual_taken,
@@ -317,6 +426,13 @@ impl CoreHooks for BranchRunahead {
             && self.cache.has_match(info.pc, info.actual_taken)
         {
             self.queues.clear_all();
+            self.tele.add(self.tids.dce_syncs, 1);
+            self.tele.event(
+                info.cycle,
+                EventKind::DceSync,
+                info.pc,
+                u64::from(info.actual_taken),
+            );
             self.dce.sync_initiate(
                 info.pc,
                 info.actual_taken,
@@ -338,6 +454,9 @@ impl CoreHooks for BranchRunahead {
         self.ceb.push(CebRecord::from_retired(u));
 
         if let Some(ev) = self.wpb.on_correct_retire(u) {
+            self.tele.add(self.tids.merge_events, 1);
+            self.tele
+                .event(u.cycle, EventKind::WpbMerge, ev.branch_pc, ev.merge_pc);
             // Guard registration: the merge-predicted branch guards every
             // branch observed before the merge point.
             if self.cfg.enable_affector_guards {
@@ -414,7 +533,24 @@ impl CoreHooks for BranchRunahead {
 
         // HBT update; saturation or AG changes trigger chain extraction.
         if self.hbt.on_branch_retire(b.pc, b.taken, b.mispredicted) {
-            self.run_extraction(b.pc);
+            self.run_extraction(b.pc, b.cycle);
+        }
+
+        // HBT allocation churn, polled as deltas (allocations happen both
+        // here and inside guard registration; attribution is at the
+        // granularity of the triggering retirement).
+        if self.tele.is_on() {
+            let (inserts, evicts) = self.hbt.churn();
+            let (last_i, last_e) = self.last_hbt_churn;
+            for _ in last_i..inserts {
+                self.tele.add(self.tids.hbt_inserts, 1);
+                self.tele.event(b.cycle, EventKind::HbtInsert, b.pc, 0);
+            }
+            for _ in last_e..evicts {
+                self.tele.add(self.tids.hbt_evicts, 1);
+                self.tele.event(b.cycle, EventKind::HbtEvict, b.pc, 0);
+            }
+            self.last_hbt_churn = (inserts, evicts);
         }
     }
 }

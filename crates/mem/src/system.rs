@@ -408,6 +408,12 @@ impl MemorySystem {
         self.l1.probe(addr)
     }
 
+    /// MSHRs currently tracking outstanding misses (telemetry sampling).
+    #[must_use]
+    pub fn mshrs_in_use(&self) -> usize {
+        self.mshr.len()
+    }
+
     /// Aggregated statistics.
     #[must_use]
     pub fn stats(&self) -> MemoryStats {

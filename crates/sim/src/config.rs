@@ -4,6 +4,7 @@ use br_core::BranchRunaheadConfig;
 use br_mem::MemoryConfig;
 use br_ooo::CoreConfig;
 use br_predictor::{Bimodal, ConditionalPredictor, Gshare, TageScl, TageSclConfig};
+use br_telemetry::TelemetryConfig;
 
 /// Which baseline predictor the core uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +64,9 @@ pub struct SimConfig {
     pub max_retired: u64,
     /// Hard cycle cap (safety net).
     pub max_cycles: u64,
+    /// Telemetry collection (disabled by default; when enabled the run
+    /// produces a [`crate::RunResult::telemetry`] record).
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -76,6 +80,7 @@ impl SimConfig {
             runahead: None,
             max_retired: 400_000,
             max_cycles: 40_000_000,
+            telemetry: TelemetryConfig::default(),
         }
     }
 

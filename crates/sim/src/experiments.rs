@@ -16,6 +16,7 @@
 
 use br_core::{BranchRunaheadConfig, InitiationMode, PredictionCategory};
 use br_energy::{AreaBreakdown, EnergyModel};
+use br_telemetry::TelemetryConfig;
 use br_workloads::{all_workloads, WorkloadParams};
 
 use crate::config::SimConfig;
@@ -43,6 +44,9 @@ pub struct ExperimentSetup {
     /// Worker threads for job execution: `1` = sequential (the default),
     /// `0` = one per available CPU, `n` = exactly `n`.
     pub threads: usize,
+    /// Telemetry collection, stamped onto every enumerated job's
+    /// configuration (disabled by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ExperimentSetup {
@@ -56,6 +60,7 @@ impl Default for ExperimentSetup {
                 .collect(),
             regions: vec![(0, 1.0)],
             threads: 1,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -79,6 +84,7 @@ impl ExperimentSetup {
             ],
             regions: vec![(0, 1.0)],
             threads: 1,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -97,10 +103,12 @@ impl ExperimentSetup {
     /// per region, carrying the region's weight.
     #[must_use]
     pub fn jobs(&self, cfg: &SimConfig, workload: &str) -> Vec<SimJob> {
+        let mut config = cfg.clone();
+        config.telemetry = self.telemetry;
         self.regions
             .iter()
             .map(|(salt, weight)| SimJob {
-                config: cfg.clone(),
+                config: config.clone(),
                 workload: workload.to_string(),
                 params: self.params,
                 region_seed: *salt,

@@ -27,6 +27,15 @@ pub enum SimError {
         /// Every valid workload name, for the error message.
         valid: Vec<&'static str>,
     },
+    /// A worker thread panicked while executing a job. The runner converts
+    /// the panic into this error so the caller learns *which* job died
+    /// instead of seeing a bare thread-join abort.
+    JobPanicked {
+        /// [`SimJob::label`] of the failing job.
+        job: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -38,6 +47,9 @@ impl std::fmt::Display for SimError {
                     "unknown workload {name:?}; valid names: {}",
                     valid.join(", ")
                 )
+            }
+            SimError::JobPanicked { job, message } => {
+                write!(f, "job {job} panicked: {message}")
             }
         }
     }
@@ -105,6 +117,20 @@ impl SimJob {
     pub fn run(&self) -> Result<RunResult, SimError> {
         let image = self.build_image()?;
         Ok(self.execute(&image))
+    }
+
+    /// A short human-readable identity for logs and panic reports, e.g.
+    /// `"tage-sc-l-64kb+br-mini/leela_17/r2"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let predictor = self.config.predictor.name();
+        match &self.config.runahead {
+            Some(rc) => format!(
+                "{predictor}+br-{}/{}/r{}",
+                rc.name, self.workload, self.region_seed
+            ),
+            None => format!("{predictor}/{}/r{}", self.workload, self.region_seed),
+        }
     }
 
     /// The cache key identifying this job's workload image: distinct keys
@@ -184,6 +210,15 @@ mod tests {
         j.region_seed = 1;
         assert_ne!(base.seed, j.effective_params().seed);
         assert_eq!(base.scale, j.effective_params().scale);
+    }
+
+    #[test]
+    fn label_is_human_readable() {
+        let mut j = job("leela_17");
+        j.region_seed = 2;
+        assert_eq!(j.label(), "tage-sc-l-64kb/leela_17/r2");
+        j.config = SimConfig::mini_br();
+        assert_eq!(j.label(), "tage-sc-l-64kb+br-mini/leela_17/r2");
     }
 
     #[test]

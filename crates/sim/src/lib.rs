@@ -31,6 +31,7 @@ mod runner;
 mod system;
 mod table;
 
+pub use br_telemetry::{TelemetryConfig, TelemetryRun};
 pub use config::{render_table2, PredictorKind, SimConfig};
 pub use job::{SimError, SimJob};
 pub use runner::{aggregate, resolve_threads, run_jobs};

@@ -14,6 +14,7 @@
 //! is what guarantees the two paths cannot diverge.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
@@ -43,6 +44,18 @@ impl ImageCache {
         let built = job.build_image()?;
         let mut map = self.map.lock().expect("image cache poisoned");
         Ok(Arc::clone(map.entry(key).or_insert(built)))
+    }
+}
+
+/// Renders a panic payload: the `&str`/`String` most panics carry, or a
+/// placeholder for exotic payloads.
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -88,9 +101,22 @@ pub fn run_jobs(jobs: &[SimJob], threads: usize) -> Result<Vec<RunResult>, SimEr
                 if i >= jobs.len() {
                     break;
                 }
-                let result = cache
-                    .get_or_build(&jobs[i])
-                    .map(|img| jobs[i].execute(&img));
+                // Catch panics here so one poisoned job surfaces as a
+                // `SimError::JobPanicked` naming the job, instead of an
+                // opaque scoped-thread abort that hides which simulation
+                // died. The sequential path above panics naturally (same
+                // thread, full backtrace), so nothing is hidden there.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    cache
+                        .get_or_build(&jobs[i])
+                        .map(|img| jobs[i].execute(&img))
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(SimError::JobPanicked {
+                        job: jobs[i].label(),
+                        message: describe_panic(payload.as_ref()),
+                    })
+                });
                 if tx.send((i, result)).is_err() {
                     break;
                 }
@@ -189,6 +215,26 @@ mod tests {
             run_jobs(&batch, 2),
             Err(SimError::UnknownWorkload { .. })
         ));
+    }
+
+    #[test]
+    fn worker_panic_names_the_job() {
+        let mut batch = jobs(2);
+        let mut cfg = SimConfig::mini_br();
+        cfg.runahead.as_mut().unwrap().hbt_entries = 0;
+        batch[1].config = cfg;
+        let err = run_jobs(&batch, 2).unwrap_err();
+        match err {
+            SimError::JobPanicked { job, message } => {
+                assert!(job.contains("leela_17"), "label names the workload: {job}");
+                assert!(job.contains("r1"), "label names the region: {job}");
+                assert!(
+                    message.contains("hbt_entries"),
+                    "payload preserved: {message}"
+                );
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! System composition: core + memory + (optional) Branch Runahead.
 
-use br_core::{BrStats, BranchRunahead};
+use br_core::{BrLiveState, BrStats, BranchRunahead, PredictionCategory};
 use br_energy::EnergyEvents;
 use br_isa::{CpuState, Machine, Pc};
 use br_mem::{MemResp, MemoryStats, MemorySystem};
@@ -9,6 +9,7 @@ use br_ooo::{
     WrongPathUop,
 };
 use br_ooo::{Core, NullHooks};
+use br_telemetry::{Sample, Telemetry, TelemetryRun};
 use br_workloads::WorkloadImage;
 
 use crate::config::SimConfig;
@@ -38,6 +39,15 @@ impl SystemHooks {
     /// The Branch Runahead engine, when attached.
     #[must_use]
     pub fn runahead(&self) -> Option<&BranchRunahead> {
+        match self {
+            SystemHooks::Baseline(_) => None,
+            SystemHooks::Runahead(br) => Some(br),
+        }
+    }
+
+    /// Mutable access to the attached engine (telemetry attach/detach).
+    #[must_use]
+    pub fn runahead_mut(&mut self) -> Option<&mut BranchRunahead> {
         match self {
             SystemHooks::Baseline(_) => None,
             SystemHooks::Runahead(br) => Some(br),
@@ -113,6 +123,8 @@ pub struct RunResult {
     pub br: Option<BrStats>,
     /// Configuration name the run used.
     pub config_name: String,
+    /// Collected telemetry (when [`SimConfig::telemetry`] is enabled).
+    pub telemetry: Option<TelemetryRun>,
 }
 
 impl RunResult {
@@ -170,6 +182,109 @@ impl RunResult {
     }
 }
 
+/// Cumulative counter values at the previous interval sample; the
+/// sampler differences against these to get per-interval rates.
+#[derive(Clone, Copy, Debug, Default)]
+struct SampleSnapshot {
+    cycles: u64,
+    retired: u64,
+    mispredicts: u64,
+    l1_hits: u64,
+    l1_misses: u64,
+    retired_branches: u64,
+    covered: u64,
+    correct: u64,
+    incorrect: u64,
+    late: u64,
+    throttled: u64,
+    cc_lookups: u64,
+    cc_hits: u64,
+}
+
+/// The interval sampler: snapshots the system every `interval` retired
+/// uops, turning cumulative statistics into a time series of interval
+/// rates (the time axis the end-of-run totals flatten away).
+#[derive(Clone, Debug)]
+struct Sampler {
+    interval: u64,
+    next: u64,
+    samples: Vec<Sample>,
+    prev: SampleSnapshot,
+}
+
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl Sampler {
+    fn new(interval: u64) -> Self {
+        Sampler {
+            interval: interval.max(1),
+            next: interval.max(1),
+            samples: Vec::new(),
+            prev: SampleSnapshot::default(),
+        }
+    }
+
+    fn take(&mut self, cycle: u64, core: &Core, mem: &MemorySystem, hooks: &SystemHooks) {
+        let cs = core.stats();
+        let ms = mem.stats();
+        let (br_stats, live) = match hooks.runahead() {
+            Some(br) => (Some(br.stats()), br.live_state()),
+            None => (None, BrLiveState::default()),
+        };
+        let category = |cat: PredictionCategory| -> u64 {
+            br_stats
+                .as_ref()
+                .and_then(|s| s.prediction_breakdown.get(&cat).copied())
+                .unwrap_or(0)
+        };
+        let now = SampleSnapshot {
+            cycles: cs.cycles,
+            retired: cs.retired_uops,
+            mispredicts: cs.mispredicts,
+            l1_hits: ms.l1.hits,
+            l1_misses: ms.l1.misses,
+            retired_branches: cs.retired_branches,
+            covered: br_stats.as_ref().map_or(0, |s| s.covered_branch_retires),
+            correct: category(PredictionCategory::Correct),
+            incorrect: category(PredictionCategory::Incorrect),
+            late: category(PredictionCategory::Late),
+            throttled: category(PredictionCategory::Throttled),
+            cc_lookups: live.cache_lookups,
+            cc_hits: live.cache_hits,
+        };
+        let p = self.prev;
+        let d = |f: fn(&SampleSnapshot) -> u64| f(&now).saturating_sub(f(&p));
+        let d_covered = d(|s| s.covered);
+        self.samples.push(Sample {
+            cycle,
+            retired_uops: now.retired,
+            ipc: rate(d(|s| s.retired), d(|s| s.cycles)),
+            mpki: rate(d(|s| s.mispredicts), d(|s| s.retired)) * 1000.0,
+            l1_miss_rate: rate(d(|s| s.l1_misses), d(|s| s.l1_hits) + d(|s| s.l1_misses)),
+            mshr_in_use: mem.mshrs_in_use() as u64,
+            dce_active: live.dce_active as u64,
+            queue_slots: live.queue_slots as u64,
+            cached_chains: live.cached_chains as u64,
+            chain_cache_hit_rate: rate(d(|s| s.cc_hits), d(|s| s.cc_lookups)),
+            coverage_rate: rate(d_covered, d(|s| s.retired_branches)),
+            late_rate: rate(d(|s| s.late), d_covered),
+            throttle_rate: rate(d(|s| s.throttled), d_covered),
+            correct_rate: rate(d(|s| s.correct), d_covered),
+            incorrect_rate: rate(d(|s| s.incorrect), d_covered),
+        });
+        self.prev = now;
+        while self.next <= now.retired {
+            self.next += self.interval;
+        }
+    }
+}
+
 /// A runnable system instance. `System` is `Send`: it is a fully
 /// self-contained unit of work that a sharded runner can move to any
 /// worker thread (see `crate::runner`).
@@ -179,6 +294,7 @@ pub struct System {
     hooks: SystemHooks,
     max_cycles: u64,
     config_name: String,
+    sampler: Option<Sampler>,
 }
 
 impl std::fmt::Debug for System {
@@ -204,10 +320,19 @@ impl System {
             cfg.predictor.build(),
         );
         core.set_max_retired(cfg.max_retired);
-        let hooks = SystemHooks::from_config(&cfg, cfg.core.retire_width);
+        let mut hooks = SystemHooks::from_config(&cfg, cfg.core.retire_width);
         let config_name = match hooks.runahead() {
             Some(br) => format!("{}+br-{}", cfg.predictor.name(), br.config().name),
             None => cfg.predictor.name().to_string(),
+        };
+        let sampler = if cfg.telemetry.enabled {
+            core.attach_telemetry(Telemetry::from_config(&cfg.telemetry));
+            if let Some(br) = hooks.runahead_mut() {
+                br.attach_telemetry(Telemetry::from_config(&cfg.telemetry));
+            }
+            Some(Sampler::new(cfg.telemetry.sample_interval))
+        } else {
+            None
         };
         System {
             core,
@@ -215,6 +340,7 @@ impl System {
             hooks,
             max_cycles: cfg.max_cycles,
             config_name,
+            sampler,
         }
     }
 
@@ -233,15 +359,29 @@ impl System {
                 &responses,
                 &report,
             );
+            if let Some(s) = &mut self.sampler {
+                if self.core.stats().retired_uops >= s.next {
+                    s.take(cycle, &self.core, &self.mem, &self.hooks);
+                }
+            }
             if report.done {
                 break;
             }
         }
+        let telemetry = self.sampler.take().map(|s| {
+            let core_t = self.core.take_telemetry();
+            let br_t = self
+                .hooks
+                .runahead_mut()
+                .map_or_else(Telemetry::off, BranchRunahead::take_telemetry);
+            TelemetryRun::collect(s.samples, vec![core_t, br_t])
+        });
         RunResult {
             core: self.core.stats().clone(),
             mem: self.mem.stats(),
             br: self.hooks.runahead().map(BranchRunahead::stats),
             config_name: self.config_name.clone(),
+            telemetry,
         }
     }
 

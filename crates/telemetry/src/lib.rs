@@ -1,0 +1,363 @@
+//! # br-telemetry — time-resolved observability for the simulator stack
+//!
+//! The paper's evaluation is about *when* things happen — predictions
+//! arriving too late, throttled windows, DCE occupancy under contention —
+//! but end-of-run statistics flatten all of it. This crate adds the
+//! missing time axis with three primitives:
+//!
+//! * a [`Metrics`] registry — named counters, gauges, and log2-bucketed
+//!   [`Histogram`]s — behind the [`Telemetry`] facade, whose disabled
+//!   path is a single predictable branch (no trait objects, no generics
+//!   leaking into component types; verified by `telemetry_bench`),
+//! * an interval time series of [`Sample`]s (IPC, MPKI, coverage/late/
+//!   throttle rates, queue depths, chain-cache hit rate every N retired
+//!   uops), driven by the `br-sim` system loop,
+//! * a bounded [`EventRing`] of discrete [`TraceEvent`]s (chain
+//!   extraction/rejection, HBT churn, WPB merge hits, DCE flush/sync,
+//!   recoveries).
+//!
+//! Per-run output is folded into a [`TelemetryRun`], which the [`export`]
+//! module renders as Chrome `trace_event` JSON, JSONL, or CSV — all pure
+//! string transforms, so "byte-identical across worker-thread counts" is
+//! a testable property.
+//!
+//! ```
+//! use br_telemetry::{EventKind, Telemetry};
+//!
+//! let mut t = Telemetry::on(1024);
+//! let retired = t.counter("core.retired_uops");
+//! t.add(retired, 4);
+//! t.event(100, EventKind::Recovery, 0x40, 12);
+//! assert_eq!(t.counter_value("core.retired_uops"), Some(4));
+//!
+//! let off = Telemetry::off();          // all updates are no-ops
+//! assert!(!off.is_on());
+//! ```
+
+#![warn(missing_docs)]
+
+mod events;
+pub mod export;
+mod metrics;
+mod sample;
+
+pub use events::{EventKind, EventRing, TraceEvent};
+pub use metrics::{CounterId, GaugeId, HistId, Histogram, Metrics, HIST_BUCKETS};
+pub use sample::{json_f64, Sample};
+
+/// Telemetry collection knobs, carried inside the simulation
+/// configuration so every job is self-describing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch. Disabled (the default) means every instrumentation
+    /// site is a no-op and runs produce no [`TelemetryRun`].
+    pub enabled: bool,
+    /// Retired uops between interval samples.
+    pub sample_interval: u64,
+    /// Event-ring capacity per sink (the trace keeps the most recent
+    /// window; older events are counted as dropped).
+    pub event_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            sample_interval: 10_000,
+            event_capacity: 65_536,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Inner {
+    metrics: Metrics,
+    events: EventRing,
+}
+
+/// A telemetry sink owned by an instrumented component (the core, the
+/// Branch Runahead engine). Everything is a no-op when constructed with
+/// [`Telemetry::off`] — updates cost one branch on a `None` discriminant
+/// — so components embed a `Telemetry` unconditionally and never carry
+/// generics or feature gates for it.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Box<Inner>>,
+}
+
+impl Telemetry {
+    /// A disabled sink: every operation is a no-op.
+    #[must_use]
+    pub fn off() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled sink whose event ring holds `event_capacity` events.
+    #[must_use]
+    pub fn on(event_capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Box::new(Inner {
+                metrics: Metrics::default(),
+                events: EventRing::new(event_capacity),
+            })),
+        }
+    }
+
+    /// Builds a sink per the configuration's master switch.
+    #[must_use]
+    pub fn from_config(cfg: &TelemetryConfig) -> Self {
+        if cfg.enabled {
+            Telemetry::on(cfg.event_capacity)
+        } else {
+            Telemetry::off()
+        }
+    }
+
+    /// Whether this sink records anything.
+    #[inline]
+    #[must_use]
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or finds) a counter. On a disabled sink the returned id
+    /// is inert (updates through it are dropped with the rest).
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.inner
+            .as_mut()
+            .map_or(CounterId::default(), |i| i.metrics.counter(name))
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        self.inner
+            .as_mut()
+            .map_or(GaugeId::default(), |i| i.metrics.gauge(name))
+    }
+
+    /// Registers (or finds) a histogram.
+    pub fn histogram(&mut self, name: &'static str) -> HistId {
+        self.inner
+            .as_mut()
+            .map_or(HistId::default(), |i| i.metrics.histogram(name))
+    }
+
+    /// Adds `delta` to a counter (no-op when disabled).
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        if let Some(i) = &mut self.inner {
+            i.metrics.add(id, delta);
+        }
+    }
+
+    /// Sets a gauge (no-op when disabled).
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, value: i64) {
+        if let Some(i) = &mut self.inner {
+            i.metrics.set_gauge(id, value);
+        }
+    }
+
+    /// Records a histogram value (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, id: HistId, value: u64) {
+        if let Some(i) = &mut self.inner {
+            i.metrics.record(id, value);
+        }
+    }
+
+    /// Traces a discrete event (no-op when disabled).
+    #[inline]
+    pub fn event(&mut self, cycle: u64, kind: EventKind, pc: u64, arg: u64) {
+        if let Some(i) = &mut self.inner {
+            i.events.push(TraceEvent {
+                cycle,
+                kind,
+                pc,
+                arg,
+            });
+        }
+    }
+
+    /// Current value of a counter by name (None when disabled or
+    /// unregistered).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.metrics.counter_value(name))
+    }
+
+    /// Consumes the sink, returning its registry and event ring (None for
+    /// a disabled sink).
+    #[must_use]
+    pub fn drain(self) -> Option<(Metrics, EventRing)> {
+        self.inner.map(|i| (i.metrics, i.events))
+    }
+}
+
+/// The collected telemetry of one simulation run: the interval time
+/// series plus the merged metrics and event traces of every sink that
+/// observed the run.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryRun {
+    /// Interval samples in time order.
+    pub samples: Vec<Sample>,
+    /// Traced events merged across sinks, nondecreasing in cycle.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring-buffer bounds, summed across sinks.
+    pub dropped_events: u64,
+    /// Final counter values, in sink order then registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Final gauge values, in sink order then registration order.
+    pub gauges: Vec<(String, i64)>,
+    /// Final histograms, in sink order then registration order.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl TelemetryRun {
+    /// Folds the interval time series and the drained sinks into one run
+    /// record. Sink order is significant and must be deterministic
+    /// (callers pass e.g. `[core_sink, br_sink]`): counters concatenate
+    /// in that order and event streams — each already nondecreasing in
+    /// cycle, since components observe cycles monotonically — are
+    /// stably merged by cycle with earlier sinks winning ties.
+    #[must_use]
+    pub fn collect(samples: Vec<Sample>, sinks: Vec<Telemetry>) -> Self {
+        let mut run = TelemetryRun {
+            samples,
+            ..TelemetryRun::default()
+        };
+        for sink in sinks {
+            let Some((metrics, ring)) = sink.drain() else {
+                continue;
+            };
+            for (name, v) in metrics.counters() {
+                run.counters.push((name.to_string(), v));
+            }
+            for (name, v) in metrics.gauges() {
+                run.gauges.push((name.to_string(), v));
+            }
+            for (name, h) in metrics.histograms() {
+                run.histograms.push((name.to_string(), h.clone()));
+            }
+            let (events, dropped) = ring.into_parts();
+            run.dropped_events += dropped;
+            run.events = merge_by_cycle(std::mem::take(&mut run.events), events);
+        }
+        run
+    }
+
+    /// Final value of a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Number of traced events of `kind`.
+    #[must_use]
+    pub fn event_count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+/// Stable two-way merge of cycle-sorted event streams (`a` wins ties).
+fn merge_by_cycle(a: Vec<TraceEvent>, b: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if x.cycle <= y.cycle {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.extend(ia.by_ref()),
+            (None, Some(_)) => out.extend(ib.by_ref()),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let mut t = Telemetry::off();
+        let c = t.counter("x");
+        let h = t.histogram("h");
+        t.add(c, 5);
+        t.record(h, 9);
+        t.event(1, EventKind::Recovery, 0, 0);
+        assert!(!t.is_on());
+        assert_eq!(t.counter_value("x"), None);
+        assert!(t.drain().is_none());
+    }
+
+    #[test]
+    fn from_config_obeys_master_switch() {
+        let mut cfg = TelemetryConfig::default();
+        assert!(!Telemetry::from_config(&cfg).is_on());
+        cfg.enabled = true;
+        assert!(Telemetry::from_config(&cfg).is_on());
+    }
+
+    #[test]
+    fn collect_merges_sinks_deterministically() {
+        let mut a = Telemetry::on(16);
+        let ca = a.counter("a.n");
+        a.add(ca, 1);
+        a.event(5, EventKind::Recovery, 1, 0);
+        a.event(9, EventKind::Recovery, 2, 0);
+
+        let mut b = Telemetry::on(16);
+        let cb = b.counter("b.n");
+        b.add(cb, 2);
+        b.event(5, EventKind::ChainExtract, 3, 0);
+        b.event(7, EventKind::ChainExtract, 4, 0);
+
+        let run = TelemetryRun::collect(Vec::new(), vec![a, b]);
+        assert_eq!(run.counter("a.n"), Some(1));
+        assert_eq!(run.counter("b.n"), Some(2));
+        let cycles: Vec<u64> = run.events.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![5, 5, 7, 9]);
+        // Tie at cycle 5: the first sink's event comes first.
+        assert_eq!(run.events[0].kind, EventKind::Recovery);
+        assert_eq!(run.event_count(EventKind::ChainExtract), 2);
+    }
+
+    #[test]
+    fn collect_sums_dropped_counts() {
+        let mut a = Telemetry::on(1);
+        a.event(1, EventKind::Recovery, 0, 0);
+        a.event(2, EventKind::Recovery, 0, 0);
+        let run = TelemetryRun::collect(Vec::new(), vec![a, Telemetry::off()]);
+        assert_eq!(run.dropped_events, 1);
+        assert_eq!(run.events.len(), 1);
+        assert_eq!(run.events[0].cycle, 2, "ring keeps the newest event");
+    }
+
+    #[test]
+    fn registration_ids_work_across_reattach() {
+        // The same site can register against successive sinks (attach,
+        // drain, attach again) and ids stay valid for the current sink.
+        let mut t = Telemetry::on(4);
+        let c1 = t.counter("n");
+        t.add(c1, 1);
+        let (m, _) = t.drain().unwrap();
+        assert_eq!(m.counter_value("n"), Some(1));
+
+        let mut t2 = Telemetry::on(4);
+        let c2 = t2.counter("n");
+        t2.add(c2, 7);
+        assert_eq!(t2.counter_value("n"), Some(7));
+    }
+}

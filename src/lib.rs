@@ -21,6 +21,7 @@
 //! | [`workloads`] | `br-workloads` | 18 SPEC/GAP-like synthetic kernels |
 //! | [`energy`] | `br-energy` | McPAT-substitute energy/area models |
 //! | [`sim`] | `br-sim` | system composition + per-figure experiments |
+//! | [`telemetry`] | `br-telemetry` | metrics, interval samples, event traces, exporters |
 //!
 //! ## Quick start
 //!
@@ -54,4 +55,5 @@ pub use br_mem as mem;
 pub use br_ooo as ooo;
 pub use br_predictor as predictor;
 pub use br_sim as sim;
+pub use br_telemetry as telemetry;
 pub use br_workloads as workloads;

@@ -50,6 +50,58 @@ fn regions_aggregate_identically_across_thread_counts() {
     );
 }
 
+/// Telemetry rides the same guarantee: interval samples and merged event
+/// traces — rendered through every exporter — must be byte-identical
+/// between the sequential path and four worker threads.
+#[test]
+fn telemetry_exports_identical_across_thread_counts() {
+    use branch_runahead::telemetry::export;
+
+    let render = |threads: usize| {
+        let mut setup = tiny(threads);
+        setup.telemetry = branch_runahead::sim::TelemetryConfig {
+            enabled: true,
+            sample_interval: 1_000,
+            event_capacity: 4_096,
+        };
+        let mut jobs = Vec::new();
+        for w in &setup.workloads {
+            jobs.extend(setup.jobs(&SimConfig::mini_br(), w));
+        }
+        let results = run_jobs(&jobs, threads).unwrap();
+        let runs: Vec<_> = jobs
+            .iter()
+            .zip(results)
+            .map(|(j, r)| (j.label(), r.telemetry.expect("telemetry enabled")))
+            .collect();
+        assert!(
+            runs.iter().any(|(_, t)| !t.samples.is_empty()),
+            "sampler produced nothing"
+        );
+        [
+            export::chrome_trace(&runs),
+            export::samples_jsonl(&runs),
+            export::samples_csv(&runs),
+            export::events_jsonl(&runs),
+            export::counters_json(&runs),
+        ]
+    };
+    let seq = render(1);
+    let par = render(4);
+    for (name, (a, b)) in [
+        "trace",
+        "samples.jsonl",
+        "samples.csv",
+        "events",
+        "counters",
+    ]
+    .iter()
+    .zip(seq.iter().zip(&par))
+    {
+        assert_eq!(a, b, "{name} export diverged across thread counts");
+    }
+}
+
 /// Raw runner level: results come back in job order with auto threads.
 #[test]
 fn runner_preserves_job_order_with_auto_threads() {

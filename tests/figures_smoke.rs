@@ -16,6 +16,7 @@ fn setup() -> ExperimentSetup {
         workloads: vec!["leela_17".into(), "mcf_06".into(), "bfs".into()],
         regions: vec![(0, 1.0)],
         threads: 1,
+        telemetry: branch_runahead::sim::TelemetryConfig::default(),
     }
 }
 

@@ -1,0 +1,146 @@
+//! Telemetry acceptance: the collected record must *reconcile* with the
+//! end-of-run statistics it shadows (same underlying events, two views),
+//! the interval samples must advance monotonically, and a run with
+//! telemetry disabled must be byte-identical to one that never heard of
+//! the subsystem.
+
+use branch_runahead::sim::{SimConfig, System, TelemetryConfig};
+use branch_runahead::telemetry::EventKind;
+use branch_runahead::workloads::{workload_by_name, WorkloadParams};
+
+fn image() -> branch_runahead::workloads::WorkloadImage {
+    workload_by_name("leela_17")
+        .unwrap()
+        .build(&WorkloadParams {
+            scale: 512,
+            iterations: 1_000_000,
+            seed: 17,
+        })
+}
+
+fn run_with_telemetry() -> branch_runahead::sim::RunResult {
+    let mut cfg = SimConfig::mini_br();
+    cfg.max_retired = 60_000;
+    cfg.telemetry = TelemetryConfig {
+        enabled: true,
+        sample_interval: 5_000,
+        event_capacity: 1 << 16,
+    };
+    System::new(cfg, &image()).run()
+}
+
+#[test]
+fn counters_reconcile_with_run_stats() {
+    let r = run_with_telemetry();
+    let t = r.telemetry.as_ref().expect("telemetry enabled");
+    let br = r.br.as_ref().expect("BR enabled");
+
+    assert_eq!(t.counter("core.retired_uops"), Some(r.core.retired_uops));
+    assert_eq!(
+        t.counter("core.retired_branches"),
+        Some(r.core.retired_branches)
+    );
+    assert_eq!(t.counter("core.mispredicts"), Some(r.core.mispredicts));
+    assert_eq!(
+        t.counter("br.extraction_attempts"),
+        Some(br.extraction_attempts)
+    );
+    assert_eq!(t.counter("br.chains_extracted"), Some(br.chains_extracted));
+    assert_eq!(
+        t.counter("br.extraction_rejects"),
+        Some(br.extraction_rejects)
+    );
+    assert_eq!(t.counter("br.dce_syncs"), Some(br.syncs));
+
+    // The chain-length histogram shadows the stats' sum.
+    let (_, hist) = t
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "br.chain_len")
+        .expect("chain_len histogram");
+    assert_eq!(hist.sum(), br.chain_len_sum);
+    assert_eq!(hist.count(), br.chains_extracted);
+}
+
+#[test]
+fn events_reconcile_with_counters() {
+    let r = run_with_telemetry();
+    let t = r.telemetry.as_ref().expect("telemetry enabled");
+    // Nothing dropped at this capacity, so each traced kind must match
+    // its counter exactly.
+    assert_eq!(t.dropped_events, 0, "ring too small for this run");
+    for (kind, counter) in [
+        (EventKind::ChainExtract, "br.chains_extracted"),
+        (EventKind::ChainReject, "br.extraction_rejects"),
+        (EventKind::DceSync, "br.dce_syncs"),
+        (EventKind::DceFlush, "br.dce_flushes"),
+        (EventKind::WpbMerge, "br.merge_events"),
+        (EventKind::HbtInsert, "br.hbt_inserts"),
+        (EventKind::Recovery, "core.recoveries"),
+    ] {
+        assert_eq!(
+            t.event_count(kind) as u64,
+            t.counter(counter).unwrap_or(0),
+            "{} events disagree with {counter}",
+            kind.name()
+        );
+    }
+    // Events arrive merged in nondecreasing cycle order.
+    assert!(t.events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+}
+
+#[test]
+fn samples_are_monotonic_and_plausible() {
+    let r = run_with_telemetry();
+    let t = r.telemetry.as_ref().expect("telemetry enabled");
+    assert!(
+        t.samples.len() >= 5,
+        "60k uops at 5k cadence: {}",
+        t.samples.len()
+    );
+    for w in t.samples.windows(2) {
+        assert!(w[0].cycle < w[1].cycle, "cycles must advance");
+        assert!(
+            w[0].retired_uops < w[1].retired_uops,
+            "retired count must advance"
+        );
+    }
+    for s in &t.samples {
+        assert!(s.ipc > 0.0 && s.ipc <= 8.0, "implausible IPC {}", s.ipc);
+        assert!(s.mpki >= 0.0, "negative MPKI");
+        for rate in [
+            s.l1_miss_rate,
+            s.chain_cache_hit_rate,
+            s.coverage_rate,
+            s.late_rate,
+            s.throttle_rate,
+            s.correct_rate,
+            s.incorrect_rate,
+        ] {
+            assert!((0.0..=1.0).contains(&rate), "rate out of range: {rate}");
+        }
+    }
+}
+
+#[test]
+fn disabled_telemetry_changes_nothing() {
+    let mut cfg = SimConfig::mini_br();
+    cfg.max_retired = 30_000;
+    let plain = System::new(cfg.clone(), &image()).run();
+    assert!(plain.telemetry.is_none(), "off by default");
+
+    cfg.telemetry = TelemetryConfig {
+        enabled: true,
+        sample_interval: 2_000,
+        event_capacity: 1 << 14,
+    };
+    let traced = System::new(cfg, &image()).run();
+    // Observation must not perturb the simulation.
+    assert_eq!(plain.core.cycles, traced.core.cycles);
+    assert_eq!(plain.core.retired_uops, traced.core.retired_uops);
+    assert_eq!(plain.core.mispredicts, traced.core.mispredicts);
+    assert_eq!(
+        plain.br.as_ref().map(|b| b.dce_uops),
+        traced.br.as_ref().map(|b| b.dce_uops)
+    );
+}
