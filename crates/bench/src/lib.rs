@@ -52,12 +52,8 @@ pub const EXPERIMENTS: &[&str] = &[
 /// # Errors
 ///
 /// Propagates [`SimError`] from the experiment (e.g. an unknown workload
-/// name in the setup).
-///
-/// # Panics
-///
-/// Panics on an unknown *experiment* name; callers validate against
-/// [`EXPERIMENTS`].
+/// name in the setup), and reports an unknown *experiment* name as
+/// [`SimError::InvalidConfig`] listing [`EXPERIMENTS`].
 pub fn run_experiment_json(name: &str, setup: &ExperimentSetup) -> Result<String, SimError> {
     let started = std::time::Instant::now();
     let body = match name {
@@ -88,7 +84,7 @@ pub fn run_experiment_json(name: &str, setup: &ExperimentSetup) -> Result<String
                 "fig14" => experiments::fig14(setup)?,
                 "merge-point" => experiments::merge_point(setup)?,
                 "ablations" => experiments::ablations(setup)?,
-                _ => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
+                _ => return Err(unknown_experiment(other)),
             };
             format!("\"name\": \"{other}\", \"table\": {}", t.to_json())
         }
@@ -99,17 +95,20 @@ pub fn run_experiment_json(name: &str, setup: &ExperimentSetup) -> Result<String
     ))
 }
 
+/// Reports an unknown experiment name as a typed, actionable error.
+fn unknown_experiment(name: &str) -> SimError {
+    SimError::InvalidConfig(format!(
+        "unknown experiment {name:?}; known: {EXPERIMENTS:?}"
+    ))
+}
+
 /// Runs one named experiment and returns its rendered output.
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the experiment (e.g. an unknown workload
-/// name in the setup).
-///
-/// # Panics
-///
-/// Panics on an unknown *experiment* name; callers validate against
-/// [`EXPERIMENTS`].
+/// name in the setup), and reports an unknown *experiment* name as
+/// [`SimError::InvalidConfig`] listing [`EXPERIMENTS`].
 pub fn run_experiment(name: &str, setup: &ExperimentSetup) -> Result<String, SimError> {
     Ok(match name {
         "table1" => br_sim::SimConfig::baseline().render_table1(),
@@ -130,7 +129,7 @@ pub fn run_experiment(name: &str, setup: &ExperimentSetup) -> Result<String, Sim
         "merge-point" => experiments::merge_point(setup)?.to_string(),
         "ablations" => experiments::ablations(setup)?.to_string(),
         "area" => experiments::area_report(),
-        other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
+        other => return Err(unknown_experiment(other)),
     })
 }
 
@@ -145,9 +144,14 @@ pub fn run_experiment(name: &str, setup: &ExperimentSetup) -> Result<String, Sim
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] (wrapped as [`std::io::Error`]) and any
-/// filesystem error from creating `dir` or writing the files.
-pub fn export_telemetry(setup: &ExperimentSetup, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+/// Propagates [`SimError`] from the runs; filesystem failures creating
+/// `dir` or writing the files surface as [`SimError::Io`] naming the
+/// path.
+pub fn export_telemetry(setup: &ExperimentSetup, dir: &Path) -> Result<Vec<PathBuf>, SimError> {
+    let io_err = |path: &Path, e: std::io::Error| SimError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
     let mut setup = setup.clone();
     setup.telemetry.enabled = true;
     let jobs: Vec<br_sim::SimJob> = setup
@@ -156,13 +160,13 @@ pub fn export_telemetry(setup: &ExperimentSetup, dir: &Path) -> std::io::Result<
         .iter()
         .flat_map(|w| setup.jobs(&SimConfig::mini_br(), w))
         .collect();
-    let results = run_jobs(&jobs, setup.threads).map_err(std::io::Error::other)?;
+    let results = run_jobs(&jobs, setup.threads)?;
     let runs: Vec<(String, TelemetryRun)> = jobs
         .iter()
         .zip(results)
         .filter_map(|(job, r)| r.telemetry.map(|t| (job.label(), t)))
         .collect();
-    std::fs::create_dir_all(dir)?;
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
     let files: [(&str, String); 5] = [
         ("trace.json", export::chrome_trace(&runs)),
         ("samples.jsonl", export::samples_jsonl(&runs)),
@@ -173,10 +177,30 @@ pub fn export_telemetry(setup: &ExperimentSetup, dir: &Path) -> std::io::Result<
     let mut written = Vec::with_capacity(files.len());
     for (name, contents) in files {
         let path = dir.join(name);
-        std::fs::write(&path, contents)?;
+        std::fs::write(&path, contents).map_err(|e| io_err(&path, e))?;
         written.push(path);
     }
     Ok(written)
+}
+
+/// Runs the architectural-equivalence soak over the setup's workloads
+/// under Mini Branch Runahead: each `(workload, region)` job runs once
+/// fault-free and `schedules` times under seeded fault schedules derived
+/// from `spec`, with machine checks always on. See [`br_sim::run_soak`]
+/// for the pass criterion (bit-identical retired instruction streams).
+#[must_use]
+pub fn run_faults_soak(
+    setup: &ExperimentSetup,
+    spec: br_sim::FaultSpec,
+    schedules: u32,
+) -> br_sim::SoakReport {
+    let jobs: Vec<br_sim::SimJob> = setup
+        .workloads
+        .clone()
+        .iter()
+        .flat_map(|w| setup.jobs(&SimConfig::mini_br(), w))
+        .collect();
+    br_sim::run_soak(&jobs, spec, schedules, setup.threads)
 }
 
 #[cfg(test)]
@@ -209,8 +233,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown experiment")]
-    fn unknown_name_panics() {
-        let _ = run_experiment("fig99", &ExperimentSetup::quick());
+    fn unknown_name_is_a_typed_error() {
+        for f in [run_experiment, run_experiment_json] {
+            let err = f("fig99", &ExperimentSetup::quick()).unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+            assert!(err.to_string().contains("fig99"), "{err}");
+            assert!(err.to_string().contains("fig10"), "lists known: {err}");
+        }
     }
 }

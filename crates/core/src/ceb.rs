@@ -103,6 +103,36 @@ impl ChainExtractionBuffer {
     pub fn newest_instance_of(&self, pc: Pc) -> Option<usize> {
         self.iter_backwards().position(|r| r.uop.pc == pc)
     }
+
+    /// Validates structural invariants: occupancy within capacity and
+    /// circular ordering (sequence numbers strictly increase oldest to
+    /// newest).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.buf.len() > self.capacity {
+            return Err(format!(
+                "ceb: {} records exceed capacity {}",
+                self.buf.len(),
+                self.capacity
+            ));
+        }
+        let mut prev: Option<u64> = None;
+        for r in &self.buf {
+            if let Some(p) = prev {
+                if r.seq <= p {
+                    return Err(format!(
+                        "ceb: sequence {} not after {p} (circular order broken)",
+                        r.seq
+                    ));
+                }
+            }
+            prev = Some(r.seq);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -154,6 +154,44 @@ impl DependenceChainCache {
     pub fn lookup_stats(&self) -> (u64, u64) {
         (self.lookups, self.hits)
     }
+
+    /// Fault injection: evicts the entry at position `sel % len`
+    /// (models a spurious capacity eviction — the chain must be
+    /// re-extracted, a pure performance event). Returns whether anything
+    /// was evicted.
+    pub fn chaos_evict(&mut self, sel: u64) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let idx = (sel % self.entries.len() as u64) as usize;
+        self.entries.swap_remove(idx);
+        true
+    }
+
+    /// Validates structural invariants: entry count within capacity and
+    /// LRU stamps not exceeding the access tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.entries.len() > self.capacity {
+            return Err(format!(
+                "chain cache: {} entries exceed capacity {}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        for e in &self.entries {
+            if e.lru > self.tick {
+                return Err(format!(
+                    "chain cache[{:#x}]: LRU stamp {} ahead of tick {}",
+                    e.chain.branch_pc, e.lru, self.tick
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -240,6 +240,45 @@ impl DependenceChainEngine {
         self.instances.iter().filter(|i| !i.dead).count()
     }
 
+    /// Whether memory request `id` is an outstanding DCE load (the fault
+    /// harness uses this to delay only DCE traffic).
+    #[must_use]
+    pub fn owns_request(&self, id: ReqId) -> bool {
+        self.pending_mem.contains_key(&id)
+    }
+
+    /// Validates structural invariants: the live-instance window bound,
+    /// the DCE MSHR bound on outstanding loads, and initiation counters
+    /// within their 3-bit range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.active_instances() > self.cfg.window_instances {
+            return Err(format!(
+                "dce: {} live instances exceed window {}",
+                self.active_instances(),
+                self.cfg.window_instances
+            ));
+        }
+        if self.pending_mem.len() > self.cfg.dce_mshrs {
+            return Err(format!(
+                "dce: {} outstanding loads exceed {} MSHRs",
+                self.pending_mem.len(),
+                self.cfg.dce_mshrs
+            ));
+        }
+        for (pc, c) in &self.init_counters {
+            if *c > 7 {
+                return Err(format!(
+                    "dce[{pc:#x}]: initiation counter {c} exceeds 3-bit range"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Updates the per-branch 3-bit initiation counter with a resolved
     /// outcome.
     pub fn train_init_counter(&mut self, pc: Pc, taken: bool) {

@@ -287,6 +287,44 @@ impl HardBranchTable {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Fault injection: forces an immediate decay event (a "decay
+    /// storm" ages out misprediction history early, delaying HTP
+    /// detection — a pure performance event).
+    pub fn chaos_decay_storm(&mut self) {
+        self.decay();
+    }
+
+    /// Validates structural invariants: entry count within capacity and
+    /// both saturating counters within their bit widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.entries.len() > self.capacity {
+            return Err(format!(
+                "hbt: {} entries exceed capacity {}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        for e in &self.entries {
+            if e.misp_counter > MISP_SATURATE {
+                return Err(format!(
+                    "hbt[{:#x}]: misp counter {} exceeds 5-bit saturation {MISP_SATURATE}",
+                    e.pc, e.misp_counter
+                ));
+            }
+            if e.bias_counter > BIAS_SATURATE {
+                return Err(format!(
+                    "hbt[{:#x}]: bias counter {} exceeds 7-bit saturation {BIAS_SATURATE}",
+                    e.pc, e.bias_counter
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -91,6 +91,10 @@ pub struct PredictionQueues {
     entries_per_queue: usize,
     queues: HashMap<Pc, PredQueue>,
     tick: u64,
+    /// Pending fault-injection drops: while nonzero, the next `fill`
+    /// calls are swallowed (the slot stays `Empty`, so fetch sees a
+    /// `Late` verdict — a pure performance event).
+    drop_fills: u32,
 }
 
 impl PredictionQueues {
@@ -107,6 +111,7 @@ impl PredictionQueues {
             entries_per_queue,
             queues: HashMap::new(),
             tick: 0,
+            drop_fills: 0,
         }
     }
 
@@ -144,6 +149,10 @@ impl PredictionQueues {
     /// Fills a slot with a computed outcome. Silently ignores stale slot
     /// ids (queue cleared or entry retired since allocation).
     pub fn fill(&mut self, pc: Pc, slot: u64, outcome: bool) {
+        if self.drop_fills > 0 {
+            self.drop_fills -= 1;
+            return;
+        }
         if let Some(q) = self.queue_mut(pc, false) {
             if slot >= q.base {
                 if let Some(s) = q.slots.get_mut((slot - q.base) as usize) {
@@ -322,6 +331,73 @@ impl PredictionQueues {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.queues.is_empty()
+    }
+
+    /// Fault injection: swallow the next `fill` call (models a dropped
+    /// DCE→queue push; the slot stays `Empty` and fetch sees `Late`).
+    pub fn chaos_drop_next_fill(&mut self) {
+        self.drop_fills = self.drop_fills.saturating_add(1);
+    }
+
+    /// Deliberately corrupts one queue's fetch pointer past its allocated
+    /// slots — the machine-check CI fixture uses this to prove a real
+    /// structural violation is caught and reported. Creates a queue for
+    /// an impossible PC if none exist so the corruption always lands.
+    #[doc(hidden)]
+    pub fn sabotage_fetch_pointer(&mut self) {
+        if self.queues.is_empty() {
+            self.queues.insert(u64::MAX, PredQueue::new());
+        }
+        if let Some(q) = self.queues.values_mut().next() {
+            q.fetch = q.base + q.slots.len() as u64 + 1;
+        }
+    }
+
+    /// Validates structural invariants: per-queue pointer ordering
+    /// `base <= fetch <= base + slots`, slot-count and queue-count
+    /// capacity bounds, throttle counter range, and LRU stamps not
+    /// exceeding the allocation tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.queues.len() > self.num_queues {
+            return Err(format!(
+                "pqueue: {} live queues exceed capacity {}",
+                self.queues.len(),
+                self.num_queues
+            ));
+        }
+        for (pc, q) in &self.queues {
+            if q.slots.len() > self.entries_per_queue {
+                return Err(format!(
+                    "pqueue[{pc:#x}]: {} slots exceed capacity {}",
+                    q.slots.len(),
+                    self.entries_per_queue
+                ));
+            }
+            let limit = q.base + q.slots.len() as u64;
+            if q.fetch < q.base || q.fetch > limit {
+                return Err(format!(
+                    "pqueue[{pc:#x}]: fetch pointer {} outside [{}, {limit}]",
+                    q.fetch, q.base
+                ));
+            }
+            if !(-2..=1).contains(&q.throttle) {
+                return Err(format!(
+                    "pqueue[{pc:#x}]: throttle {} outside -2..=1",
+                    q.throttle
+                ));
+            }
+            if q.lru > self.tick {
+                return Err(format!(
+                    "pqueue[{pc:#x}]: LRU stamp {} ahead of tick {}",
+                    q.lru, self.tick
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -68,6 +68,8 @@ struct BrTeleIds {
     merge_events: CounterId,
     hbt_inserts: CounterId,
     hbt_evicts: CounterId,
+    faults_injected: CounterId,
+    machine_checks: CounterId,
     chain_len: HistId,
     cached_chains: GaugeId,
 }
@@ -83,6 +85,8 @@ impl BrTeleIds {
             merge_events: tele.counter("br.merge_events"),
             hbt_inserts: tele.counter("br.hbt_inserts"),
             hbt_evicts: tele.counter("br.hbt_evicts"),
+            faults_injected: tele.counter("br.faults_injected"),
+            machine_checks: tele.counter("br.machine_checks"),
             chain_len: tele.histogram("br.chain_len"),
             cached_chains: tele.gauge("br.cached_chains"),
         }
@@ -241,6 +245,90 @@ impl BranchRunahead {
     #[must_use]
     pub fn hard_branch_table(&self) -> &HardBranchTable {
         &self.hbt
+    }
+
+    // ---------------------------------------------- fault injection
+    //
+    // The `chaos_*` entry points below are driven by the simulator's
+    // fault harness (`br_sim::faults`). Every one of them perturbs only
+    // *speculative assist* state — chain outcomes are hints, so the
+    // worst any of these can do is cost performance. The machine-check
+    // layer (`check_invariants`) plus the harness's architectural-
+    // equivalence comparison prove that claim under soak.
+
+    /// Fault injection: evicts a pseudo-random chain-cache entry
+    /// (selected by `sel`). Returns whether an entry existed to evict.
+    pub fn chaos_evict_chain(&mut self, sel: u64, cycle: u64) -> bool {
+        let evicted = self.cache.chaos_evict(sel);
+        if evicted {
+            self.tele.add(self.tids.faults_injected, 1);
+            self.tele.event(cycle, EventKind::FaultInject, 0, 2);
+        }
+        evicted
+    }
+
+    /// Fault injection: forces an HBT decay storm.
+    pub fn chaos_decay_storm(&mut self, cycle: u64) {
+        self.hbt.chaos_decay_storm();
+        self.tele.add(self.tids.faults_injected, 1);
+        self.tele.event(cycle, EventKind::FaultInject, 0, 3);
+    }
+
+    /// Fault injection: swallows the next DCE→prediction-queue push.
+    pub fn chaos_drop_next_fill(&mut self, cycle: u64) {
+        self.queues.chaos_drop_next_fill();
+        self.tele.add(self.tids.faults_injected, 1);
+        self.tele.event(cycle, EventKind::FaultInject, 0, 1);
+    }
+
+    /// Whether memory request `id` is an outstanding DCE load (the fault
+    /// harness delays only DCE traffic; core responses are never touched).
+    #[must_use]
+    pub fn owns_mem_request(&self, id: br_mem::ReqId) -> bool {
+        self.dce.owns_request(id)
+    }
+
+    /// Records a fault injected outside the engine (outcome flips and
+    /// DCE memory delays live in the simulator) so telemetry still sees
+    /// it. `kind_code` follows `br_sim::faults::FaultKind`.
+    pub fn record_external_fault(&mut self, cycle: u64, pc: Pc, kind_code: u64) {
+        self.tele.add(self.tids.faults_injected, 1);
+        self.tele
+            .event(cycle, EventKind::FaultInject, pc, kind_code);
+    }
+
+    /// Deliberately corrupts a prediction-queue fetch pointer. Exists
+    /// only so CI can prove the machine-check layer catches and reports
+    /// real violations; never called outside that fixture.
+    #[doc(hidden)]
+    pub fn chaos_sabotage(&mut self) {
+        self.queues.sabotage_fetch_pointer();
+    }
+
+    /// Runs a machine-check sweep over every structure's invariants:
+    /// prediction-queue pointer ordering, chain-cache LRU consistency,
+    /// HBT counter saturation bounds, CEB circularity, and DCE window /
+    /// MSHR bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant, described.
+    pub fn check_invariants(&mut self, cycle: u64) -> Result<(), String> {
+        self.tele.add(self.tids.machine_checks, 1);
+        let result = self
+            .queues
+            .check_invariants()
+            .and_then(|()| self.cache.check_invariants())
+            .and_then(|()| self.hbt.check_invariants())
+            .and_then(|()| self.ceb.check_invariants())
+            .and_then(|()| self.dce.check_invariants());
+        self.tele.event(
+            cycle,
+            EventKind::MachineCheck,
+            0,
+            u64::from(result.is_err()),
+        );
+        result
     }
 
     fn run_extraction(&mut self, pc: Pc, cycle: u64) {

@@ -447,6 +447,26 @@ impl Core {
             self.stats.retired_uops += 1;
             self.tele.add(self.tids.retired_uops, 1);
 
+            // Architectural-equivalence fingerprint: fold only content
+            // that is independent of prediction and timing. `next_pc`
+            // and `followed_taken` reflect fetch steering, so they are
+            // deliberately excluded.
+            self.stats.fold_retirement(e.rec.pc);
+            self.stats.fold_retirement(u64::from(e.rec.halt));
+            if let Some((r, v)) = e.rec.dst {
+                self.stats.fold_retirement(r.index() as u64);
+                self.stats.fold_retirement(v);
+            }
+            if let Some(m) = e.rec.mem {
+                self.stats.fold_retirement(m.addr);
+                self.stats.fold_retirement(m.value);
+                self.stats.fold_retirement(u64::from(m.is_store));
+            }
+            if let Some(b) = e.rec.branch {
+                self.stats.fold_retirement(u64::from(b.actual_taken));
+                self.stats.fold_retirement(b.actual_next);
+            }
+
             // Clear the writer map if this uop is still recorded (its
             // consumers see "ready" via idx_of == None).
             for r in e.uop.dsts().iter() {

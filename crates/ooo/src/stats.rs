@@ -35,7 +35,7 @@ impl BranchSiteStats {
 }
 
 /// Aggregate core statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CoreStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -64,11 +64,55 @@ pub struct CoreStats {
     pub indirect_mispredicts: u64,
     /// Wrong-path uops squashed across all recoveries.
     pub squashed_uops: u64,
+    /// FNV-1a fold over the architectural content of every retired uop:
+    /// PC, destination write (register + value), memory access (address,
+    /// value, store bit), actual branch resolution, and the halt bit.
+    /// Deliberately excludes anything prediction- or timing-dependent
+    /// (followed direction, fetch-time next PC, cycle numbers), so two
+    /// runs that retire the same instructions must produce the same
+    /// fingerprint regardless of how fetch was steered. This is the
+    /// basis of the fault harness's architectural-equivalence check.
+    pub retire_fingerprint: u64,
     /// Per-site branch accounting.
     pub branch_sites: HashMap<Pc, BranchSiteStats>,
 }
 
+impl Default for CoreStats {
+    fn default() -> Self {
+        Self {
+            cycles: 0,
+            fetched_uops: 0,
+            fetched_branches: 0,
+            issued_uops: 0,
+            issued_loads: 0,
+            retired_uops: 0,
+            retired_branches: 0,
+            mispredicts: 0,
+            recoveries: 0,
+            icache_misses: 0,
+            indirect_jumps: 0,
+            indirect_mispredicts: 0,
+            squashed_uops: 0,
+            // FNV-1a offset basis: a zero start would make the hash
+            // insensitive to leading zero bytes.
+            retire_fingerprint: 0xcbf2_9ce4_8422_2325,
+            branch_sites: HashMap::new(),
+        }
+    }
+}
+
 impl CoreStats {
+    /// Folds one 64-bit word into [`CoreStats::retire_fingerprint`]
+    /// (byte-wise FNV-1a).
+    pub fn fold_retirement(&mut self, word: u64) {
+        let mut h = self.retire_fingerprint;
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.retire_fingerprint = h;
+    }
+
     /// Instructions (uops) per cycle.
     #[must_use]
     pub fn ipc(&self) -> f64 {

@@ -67,6 +67,14 @@ pub struct SimConfig {
     /// Telemetry collection (disabled by default; when enabled the run
     /// produces a [`crate::RunResult::telemetry`] record).
     pub telemetry: TelemetryConfig,
+    /// Run periodic machine-check invariant sweeps over the Branch
+    /// Runahead structures; a violation aborts the run with
+    /// [`crate::SimError::InvariantViolation`]. Off by default (it costs
+    /// a full structure walk per sweep); always on in soak runs.
+    pub machine_check: bool,
+    /// Fault-injection schedule (see [`crate::faults`]); `None` = clean
+    /// run.
+    pub faults: Option<crate::faults::FaultSpec>,
 }
 
 impl SimConfig {
@@ -81,6 +89,8 @@ impl SimConfig {
             max_retired: 400_000,
             max_cycles: 40_000_000,
             telemetry: TelemetryConfig::default(),
+            machine_check: false,
+            faults: None,
         }
     }
 

@@ -36,6 +36,56 @@ pub enum SimError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The machine-check layer caught a structural invariant violation
+    /// mid-run (see `crate::faults`): the simulated hardware state became
+    /// inconsistent, so the run's results cannot be trusted.
+    InvariantViolation {
+        /// [`SimJob::label`] of the failing job (the system itself only
+        /// knows its config name; the runner patches in the full label).
+        job: String,
+        /// Cycle of the failing invariant sweep.
+        cycle: u64,
+        /// Which invariant broke, and how.
+        what: String,
+    },
+    /// A fault-injected run broke the prediction-as-hint contract: its
+    /// retired instruction stream diverged from the fault-free reference
+    /// run. Replay deterministically with the same `(job, fault_seed)`.
+    FaultedRun {
+        /// [`SimJob::label`] of the failing job.
+        job: String,
+        /// Seed of the fault schedule that exposed the divergence.
+        fault_seed: u64,
+        /// How the run diverged.
+        what: String,
+    },
+    /// A user-supplied option (CLI flag, fault spec, experiment name) did
+    /// not parse or referred to something that does not exist.
+    InvalidConfig(String),
+    /// A filesystem operation failed. Stores the rendered OS error
+    /// (`std::io::Error` is neither `Clone` nor `Eq`).
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// The rendered I/O error.
+        message: String,
+    },
+}
+
+impl SimError {
+    /// Stable snake_case discriminant name, used as the `kind` field of
+    /// machine-readable failure reports.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::UnknownWorkload { .. } => "unknown_workload",
+            SimError::JobPanicked { .. } => "job_panicked",
+            SimError::InvariantViolation { .. } => "invariant_violation",
+            SimError::FaultedRun { .. } => "faulted_run",
+            SimError::InvalidConfig(_) => "invalid_config",
+            SimError::Io { .. } => "io",
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -51,6 +101,25 @@ impl std::fmt::Display for SimError {
             SimError::JobPanicked { job, message } => {
                 write!(f, "job {job} panicked: {message}")
             }
+            SimError::InvariantViolation { job, cycle, what } => {
+                write!(
+                    f,
+                    "job {job}: machine check failed at cycle {cycle}: {what}"
+                )
+            }
+            SimError::FaultedRun {
+                job,
+                fault_seed,
+                what,
+            } => {
+                write!(
+                    f,
+                    "job {job} under fault seed {fault_seed}: {what} \
+                     (replay with --faults seed={fault_seed} on this job)"
+                )
+            }
+            SimError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            SimError::Io { path, message } => write!(f, "io error on {path}: {message}"),
         }
     }
 }
@@ -106,17 +175,39 @@ impl SimJob {
 
     /// Executes the job against an already built image (the image must
     /// match [`SimJob::effective_params`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine-check violation; use [`SimJob::try_execute`]
+    /// to receive it as a typed error instead.
     #[must_use]
     pub fn execute(&self, image: &WorkloadImage) -> RunResult {
+        match self.try_execute(image) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Executes the job against an already built image, surfacing
+    /// machine-check violations as [`SimError::InvariantViolation`] with
+    /// this job's label.
+    pub fn try_execute(&self, image: &WorkloadImage) -> Result<RunResult, SimError> {
         let mut cfg = self.config.clone();
         cfg.max_retired = self.max_retired;
-        System::new(cfg, image).run()
+        System::new(cfg, image).try_run().map_err(|e| match e {
+            SimError::InvariantViolation { cycle, what, .. } => SimError::InvariantViolation {
+                job: self.label(),
+                cycle,
+                what,
+            },
+            other => other,
+        })
     }
 
     /// Builds and runs the job in one step.
     pub fn run(&self) -> Result<RunResult, SimError> {
         let image = self.build_image()?;
-        Ok(self.execute(&image))
+        self.try_execute(&image)
     }
 
     /// A short human-readable identity for logs and panic reports, e.g.

@@ -23,9 +23,13 @@
 //! ```
 
 #![warn(missing_docs)]
+// Production paths report failures as typed `SimError`s; `unwrap`/`expect`
+// are reserved for genuine impossibilities (tests keep their idiom).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod config;
 pub mod experiments;
+pub mod faults;
 mod job;
 mod runner;
 mod system;
@@ -33,7 +37,8 @@ mod table;
 
 pub use br_telemetry::{TelemetryConfig, TelemetryRun};
 pub use config::{render_table2, PredictorKind, SimConfig};
+pub use faults::{run_soak, FaultKind, FaultSpec, FaultStats, SoakReport};
 pub use job::{SimError, SimJob};
-pub use runner::{aggregate, resolve_threads, run_jobs};
+pub use runner::{aggregate, resolve_threads, run_jobs, run_jobs_partial};
 pub use system::{RunResult, System, SystemHooks};
 pub use table::ExpTable;

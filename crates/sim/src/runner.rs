@@ -35,14 +35,26 @@ struct ImageCache {
 
 impl ImageCache {
     fn get_or_build(&self, job: &SimJob) -> Result<Arc<WorkloadImage>, SimError> {
+        // Recover from poisoning instead of panicking: the cache is a map
+        // of immutable `Arc`s, valid after any interrupted insert, and a
+        // worker that panicked mid-job must not cascade into every other
+        // job that happens to share its images.
         let key = job.image_key();
-        if let Some(img) = self.map.lock().expect("image cache poisoned").get(&key) {
+        if let Some(img) = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             return Ok(Arc::clone(img));
         }
         // Build outside the lock: image generation dominates, and holding
         // the lock across it would serialize every worker behind it.
         let built = job.build_image()?;
-        let mut map = self.map.lock().expect("image cache poisoned");
+        let mut map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Ok(Arc::clone(map.entry(key).or_insert(built)))
     }
 }
@@ -69,24 +81,33 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// Executes every job and returns the results in job order. `threads == 0`
-/// auto-sizes to the machine; `threads == 1` runs inline on the calling
-/// thread. Invalid workload names fail the whole batch *before* any
-/// simulation starts, so errors are cheap and never partial.
-pub fn run_jobs(jobs: &[SimJob], threads: usize) -> Result<Vec<RunResult>, SimError> {
-    for job in jobs {
-        job.resolve()?;
-    }
+/// Runs one job against the shared cache, converting panics and
+/// machine-check violations into typed errors naming the job.
+fn run_one_caught(job: &SimJob, cache: &ImageCache) -> Result<RunResult, SimError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let img = cache.get_or_build(job)?;
+        job.try_execute(&img)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(SimError::JobPanicked {
+            job: job.label(),
+            message: describe_panic(payload.as_ref()),
+        })
+    })
+}
+
+/// Executes every job and returns a per-job outcome **in job order**: one
+/// failing job (panic, machine-check violation, bad workload) never stops
+/// the rest of the batch. Both the sequential (`threads <= 1`) and
+/// sharded paths catch panics, so a batch with several concurrently
+/// panicking jobs reports each failure under its own label while the
+/// surviving jobs produce results bit-identical to a clean batch.
+#[must_use]
+pub fn run_jobs_partial(jobs: &[SimJob], threads: usize) -> Vec<Result<RunResult, SimError>> {
     let threads = resolve_threads(threads).min(jobs.len().max(1));
     let cache = ImageCache::default();
     if threads <= 1 {
-        return jobs
-            .iter()
-            .map(|job| {
-                let img = cache.get_or_build(job)?;
-                Ok(job.execute(&img))
-            })
-            .collect();
+        return jobs.iter().map(|job| run_one_caught(job, &cache)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -101,23 +122,12 @@ pub fn run_jobs(jobs: &[SimJob], threads: usize) -> Result<Vec<RunResult>, SimEr
                 if i >= jobs.len() {
                     break;
                 }
-                // Catch panics here so one poisoned job surfaces as a
+                // Catch panics so one poisoned job surfaces as a
                 // `SimError::JobPanicked` naming the job, instead of an
                 // opaque scoped-thread abort that hides which simulation
-                // died. The sequential path above panics naturally (same
-                // thread, full backtrace), so nothing is hidden there.
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    cache
-                        .get_or_build(&jobs[i])
-                        .map(|img| jobs[i].execute(&img))
-                }))
-                .unwrap_or_else(|payload| {
-                    Err(SimError::JobPanicked {
-                        job: jobs[i].label(),
-                        message: describe_panic(payload.as_ref()),
-                    })
-                });
-                if tx.send((i, result)).is_err() {
+                // died — and instead of taking the batch's other results
+                // down with it.
+                if tx.send((i, run_one_caught(&jobs[i], cache))).is_err() {
                     break;
                 }
             });
@@ -132,6 +142,18 @@ pub fn run_jobs(jobs: &[SimJob], threads: usize) -> Result<Vec<RunResult>, SimEr
             .map(|s| s.expect("every job index reported exactly once"))
             .collect()
     })
+}
+
+/// Executes every job and returns the results in job order, failing the
+/// whole batch on the first per-job error. Invalid workload names fail
+/// *before* any simulation starts, so those errors are cheap and never
+/// partial. Callers that want the other jobs' results despite a failure
+/// use [`run_jobs_partial`] instead.
+pub fn run_jobs(jobs: &[SimJob], threads: usize) -> Result<Vec<RunResult>, SimError> {
+    for job in jobs {
+        job.resolve()?;
+    }
+    run_jobs_partial(jobs, threads).into_iter().collect()
 }
 
 /// Combines weighted region runs into one result (the paper's SimPoint

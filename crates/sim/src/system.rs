@@ -13,6 +13,11 @@ use br_telemetry::{Sample, Telemetry, TelemetryRun};
 use br_workloads::WorkloadImage;
 
 use crate::config::SimConfig;
+use crate::faults::{FaultInjector, FaultStats, FaultedHooks};
+use crate::job::SimError;
+
+/// Cycles between machine-check invariant sweeps (when enabled).
+const MACHINE_CHECK_INTERVAL: u64 = 1024;
 
 /// The uniform observation/steering attachment of a [`System`]: either the
 /// baseline no-op hooks or a Branch Runahead engine. [`System::run`] drives
@@ -125,6 +130,8 @@ pub struct RunResult {
     pub config_name: String,
     /// Collected telemetry (when [`SimConfig::telemetry`] is enabled).
     pub telemetry: Option<TelemetryRun>,
+    /// Faults injected (when [`SimConfig::faults`] set a schedule).
+    pub faults: Option<FaultStats>,
 }
 
 impl RunResult {
@@ -295,6 +302,8 @@ pub struct System {
     max_cycles: u64,
     config_name: String,
     sampler: Option<Sampler>,
+    machine_check: bool,
+    injector: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for System {
@@ -341,17 +350,76 @@ impl System {
             max_cycles: cfg.max_cycles,
             config_name,
             sampler,
+            machine_check: cfg.machine_check,
+            injector: cfg.faults.map(FaultInjector::new),
         }
+    }
+
+    /// Runs to completion like [`System::try_run`], panicking on a
+    /// machine-check violation (kept for callers that treat a violated
+    /// invariant as a bug, e.g. unit tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a machine-check invariant sweep fails.
+    pub fn run(&mut self) -> RunResult {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs periodic machine-check sweeps over the Branch Runahead
+    /// structures, surfacing the first violation as a typed error.
+    fn check_machine(&mut self, cycle: u64) -> Result<(), SimError> {
+        let name = &self.config_name;
+        if let Some(br) = self.hooks.runahead_mut() {
+            br.check_invariants(cycle)
+                .map_err(|what| SimError::InvariantViolation {
+                    job: name.clone(),
+                    cycle,
+                    what,
+                })?;
+        }
+        Ok(())
     }
 
     /// Runs to completion (program halt, retired-uop budget, or the cycle
     /// safety cap) and returns the statistics. Baseline and Branch
     /// Runahead systems share this single loop: the hooks enum decides
-    /// what observes the core, not the loop.
-    pub fn run(&mut self) -> RunResult {
+    /// what observes the core, not the loop. When the configuration
+    /// carries a fault schedule the injector perturbs the BR/core
+    /// boundary each cycle; when machine checks are on, periodic
+    /// invariant sweeps abort the run with
+    /// [`SimError::InvariantViolation`] at the first inconsistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvariantViolation`] (with the config name as
+    /// the job field; [`crate::SimJob::try_execute`] patches in the full
+    /// job label) when a machine-check sweep fails.
+    pub fn try_run(&mut self) -> Result<RunResult, SimError> {
+        let mut last_cycle = 0;
         for cycle in 0..self.max_cycles {
-            let responses = self.mem.tick(cycle);
-            let report = self.core.tick(&responses, &mut self.mem, &mut self.hooks);
+            last_cycle = cycle;
+            let mut responses = self.mem.tick(cycle);
+            if let Some(inj) = &mut self.injector {
+                if let Some(br) = self.hooks.runahead_mut() {
+                    let delayed_before = inj.stats().delayed_responses;
+                    responses = inj.filter_responses(cycle, responses, br);
+                    inj.note_delays(cycle, delayed_before, br);
+                    if inj.chaos_due(cycle) {
+                        inj.chaos_tick(cycle, br);
+                    }
+                }
+            }
+            let report = match &mut self.injector {
+                Some(inj) => {
+                    let mut hooks = FaultedHooks::new(&mut self.hooks, inj);
+                    self.core.tick(&responses, &mut self.mem, &mut hooks)
+                }
+                None => self.core.tick(&responses, &mut self.mem, &mut self.hooks),
+            };
             self.hooks.post_tick(
                 cycle,
                 self.core.machine(),
@@ -364,9 +432,16 @@ impl System {
                     s.take(cycle, &self.core, &self.mem, &self.hooks);
                 }
             }
+            if self.machine_check && cycle.is_multiple_of(MACHINE_CHECK_INTERVAL) {
+                self.check_machine(cycle)?;
+            }
             if report.done {
                 break;
             }
+        }
+        if self.machine_check {
+            // Terminal sweep: catch damage done after the last periodic one.
+            self.check_machine(last_cycle)?;
         }
         let telemetry = self.sampler.take().map(|s| {
             let core_t = self.core.take_telemetry();
@@ -376,13 +451,14 @@ impl System {
                 .map_or_else(Telemetry::off, BranchRunahead::take_telemetry);
             TelemetryRun::collect(s.samples, vec![core_t, br_t])
         });
-        RunResult {
+        Ok(RunResult {
             core: self.core.stats().clone(),
             mem: self.mem.stats(),
             br: self.hooks.runahead().map(BranchRunahead::stats),
             config_name: self.config_name.clone(),
             telemetry,
-        }
+            faults: self.injector.as_ref().map(FaultInjector::stats),
+        })
     }
 
     /// The core (for inspection after a run).

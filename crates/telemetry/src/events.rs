@@ -33,11 +33,19 @@ pub enum EventKind {
     /// The DCE synchronized (copied live-ins) and re-initiated chains.
     /// `pc` = triggering branch, `arg` = resolved direction (0/1).
     DceSync,
+    /// The fault harness injected a fault into a Branch Runahead
+    /// structure. `pc` = affected branch (0 when structural), `arg` =
+    /// fault kind code (see `br_sim::faults::FaultKind`).
+    FaultInject,
+    /// The machine-check layer ran an invariant sweep. `pc` = 0, `arg` =
+    /// 0 when clean, 1 when a violation was detected (the run then
+    /// terminates with the violation as its error).
+    MachineCheck,
 }
 
 impl EventKind {
     /// Every kind, in a fixed reporting order.
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 10] = [
         EventKind::Recovery,
         EventKind::ChainExtract,
         EventKind::ChainReject,
@@ -46,6 +54,8 @@ impl EventKind {
         EventKind::WpbMerge,
         EventKind::DceFlush,
         EventKind::DceSync,
+        EventKind::FaultInject,
+        EventKind::MachineCheck,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -60,6 +70,8 @@ impl EventKind {
             EventKind::WpbMerge => "wpb_merge",
             EventKind::DceFlush => "dce_flush",
             EventKind::DceSync => "dce_sync",
+            EventKind::FaultInject => "fault_inject",
+            EventKind::MachineCheck => "machine_check",
         }
     }
 }
