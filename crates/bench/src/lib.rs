@@ -20,6 +20,11 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
+#[cfg(feature = "bench-alloc")]
+pub mod alloc_count;
+
 use std::path::{Path, PathBuf};
 
 use br_sim::experiments::{self, ExperimentSetup};

@@ -1,0 +1,239 @@
+//! The `figures --bench` performance suite.
+//!
+//! Runs a fixed matrix of simulation jobs — every workload in the setup
+//! under the baseline core and under Mini Branch Runahead — **one at a
+//! time on the calling thread**, timing each job's simulation loop in
+//! isolation. Workload images are built (and therefore warmed) before the
+//! clock starts, so a job's `seconds` is the cost of the cycle loop alone:
+//! fetch/rename/issue/retire, predictor lookups, DCE and chain extraction,
+//! and the memory system.
+//!
+//! With the `bench-alloc` cargo feature the binary installs a counting
+//! global allocator and each job also reports how many heap allocations
+//! the loop performed — the tentpole claim of the allocation-free hot
+//! loop is checked by this number staying flat as `max_retired` grows.
+//!
+//! The report serialises to the JSON consumed by `tools/check_bench.py`,
+//! which compares a fresh run against the committed `BENCH_quick.json`
+//! and fails CI on a >25% per-job regression.
+
+use br_sim::experiments::ExperimentSetup;
+use br_sim::{SimConfig, SimError, SimJob};
+
+/// One timed job of the suite.
+#[derive(Clone, Debug)]
+pub struct BenchJob {
+    /// `workload/config` label.
+    pub name: String,
+    /// Wall-clock seconds of the simulation loop (image build excluded).
+    pub seconds: f64,
+    /// Retired uops in the run.
+    pub retired_uops: u64,
+    /// Simulation throughput: retired uops per wall-clock second.
+    pub uops_per_sec: f64,
+    /// Heap allocations during the loop (`bench-alloc` builds only).
+    pub allocations: Option<u64>,
+}
+
+/// The whole suite's results.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Suite flavour: `"quick"` or `"full"`.
+    pub suite: String,
+    /// Retired-uop budget per job.
+    pub max_retired: u64,
+    /// Per-job measurements, in suite order.
+    pub jobs: Vec<BenchJob>,
+    /// Sum of per-job seconds.
+    pub total_seconds: f64,
+    /// Sum of per-job retired uops.
+    pub total_retired_uops: u64,
+    /// Reference total seconds for the same suite on a pre-optimisation
+    /// build (recorded via `--bench-ref`), if provided.
+    pub reference_seconds: Option<f64>,
+}
+
+impl BenchReport {
+    /// Aggregate throughput across the suite.
+    #[must_use]
+    pub fn uops_per_sec(&self) -> f64 {
+        self.total_retired_uops as f64 / self.total_seconds.max(1e-9)
+    }
+
+    /// Speedup versus the recorded reference build, when one was given.
+    #[must_use]
+    pub fn speedup(&self) -> Option<f64> {
+        self.reference_seconds
+            .map(|r| r / self.total_seconds.max(1e-9))
+    }
+
+    /// Renders the report as the JSON contract of `tools/check_bench.py`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", self.suite));
+        out.push_str(&format!("  \"max_retired\": {},\n", self.max_retired));
+        out.push_str("  \"jobs\": [\n");
+        for (i, j) in self.jobs.iter().enumerate() {
+            let allocs = j
+                .allocations
+                .map_or_else(|| "null".to_string(), |a| a.to_string());
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"seconds\": {:.4}, \"retired_uops\": {}, \
+                 \"uops_per_sec\": {:.0}, \"allocations\": {}}}{}\n",
+                j.name,
+                j.seconds,
+                j.retired_uops,
+                j.uops_per_sec,
+                allocs,
+                if i + 1 < self.jobs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"total_seconds\": {:.4},\n",
+            self.total_seconds
+        ));
+        out.push_str(&format!(
+            "  \"total_retired_uops\": {},\n",
+            self.total_retired_uops
+        ));
+        out.push_str(&format!(
+            "  \"uops_per_sec\": {:.0},\n",
+            self.uops_per_sec()
+        ));
+        match self.reference_seconds {
+            Some(r) => {
+                out.push_str(&format!("  \"reference_seconds\": {r:.4},\n"));
+                out.push_str(&format!(
+                    "  \"speedup_vs_reference\": {:.2}\n",
+                    self.speedup().unwrap_or(0.0)
+                ));
+            }
+            None => {
+                out.push_str("  \"reference_seconds\": null,\n");
+                out.push_str("  \"speedup_vs_reference\": null\n");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Allocation count since process start (`bench-alloc` builds), else `None`.
+fn allocations_now() -> Option<u64> {
+    #[cfg(feature = "bench-alloc")]
+    {
+        Some(crate::alloc_count::allocations())
+    }
+    #[cfg(not(feature = "bench-alloc"))]
+    {
+        None
+    }
+}
+
+/// Runs the suite: `setup.workloads` × {baseline, mini-br}, sequentially.
+///
+/// `reference_seconds` is recorded verbatim into the report (the total of
+/// the same suite measured on a reference build).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from workload resolution or execution.
+pub fn run_bench(
+    setup: &ExperimentSetup,
+    suite: &str,
+    reference_seconds: Option<f64>,
+) -> Result<BenchReport, SimError> {
+    let configs = [SimConfig::baseline(), SimConfig::mini_br()];
+    let mut jobs = Vec::new();
+    let mut total_seconds = 0.0;
+    let mut total_retired = 0u64;
+    for workload in &setup.workloads {
+        for cfg in &configs {
+            let job = SimJob {
+                config: cfg.clone(),
+                workload: workload.clone(),
+                params: setup.params,
+                region_seed: 0,
+                weight: 1.0,
+                max_retired: setup.max_retired,
+            };
+            // Build (and warm) the image outside the timed section: the
+            // bench measures the simulation loop, not kernel generation.
+            let img = job.build_image()?;
+            let allocs_before = allocations_now();
+            let started = std::time::Instant::now();
+            let result = job.try_execute(&img)?;
+            let seconds = started.elapsed().as_secs_f64();
+            let allocations = allocations_now().zip(allocs_before).map(|(a, b)| a - b);
+            let retired = result.core.retired_uops;
+            total_seconds += seconds;
+            total_retired += retired;
+            jobs.push(BenchJob {
+                name: format!("{workload}/{}", result.config_name),
+                seconds,
+                retired_uops: retired,
+                uops_per_sec: retired as f64 / seconds.max(1e-9),
+                allocations,
+            });
+        }
+    }
+    Ok(BenchReport {
+        suite: suite.to_string(),
+        max_retired: setup.max_retired,
+        jobs,
+        total_seconds,
+        total_retired_uops: total_retired,
+        reference_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_setup() -> ExperimentSetup {
+        let mut setup = ExperimentSetup::quick();
+        setup.workloads = vec!["leela_17".into()];
+        setup.max_retired = 5_000;
+        setup
+    }
+
+    #[test]
+    fn suite_times_every_job() {
+        let report = run_bench(&tiny_setup(), "quick", None).unwrap();
+        assert_eq!(report.jobs.len(), 2, "baseline + mini-br per workload");
+        for j in &report.jobs {
+            assert!(j.seconds > 0.0, "{} must be timed", j.name);
+            assert!(j.retired_uops >= 5_000, "{} must retire", j.name);
+            assert!(j.uops_per_sec > 0.0);
+        }
+        assert!(report.total_seconds > 0.0);
+        assert!(report.speedup().is_none());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_carries_reference() {
+        let mut report = run_bench(&tiny_setup(), "quick", Some(1.0)).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"suite\": \"quick\""));
+        assert!(json.contains("\"reference_seconds\": 1.0000"));
+        assert!(json.contains("\"speedup_vs_reference\""));
+        assert_eq!(
+            json.matches("\"name\"").count(),
+            report.jobs.len(),
+            "one name per job"
+        );
+        report.reference_seconds = None;
+        assert!(report.to_json().contains("\"reference_seconds\": null"));
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let mut setup = tiny_setup();
+        setup.workloads = vec!["bogus".into()];
+        assert!(run_bench(&setup, "quick", None).is_err());
+    }
+}

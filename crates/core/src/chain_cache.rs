@@ -84,22 +84,27 @@ impl DependenceChainCache {
     /// All chains whose tag matches the `(pc, outcome)` event, refreshing
     /// their LRU position.
     pub fn lookup(&mut self, pc: Pc, outcome: bool) -> Vec<Arc<DependenceChain>> {
+        let mut chains = Vec::new();
+        self.lookup_into(pc, outcome, &mut chains);
+        chains
+    }
+
+    /// Allocation-free [`DependenceChainCache::lookup`]: clears `out` and
+    /// fills it with the matching chains (the hot path reuses one buffer).
+    pub fn lookup_into(&mut self, pc: Pc, outcome: bool, out: &mut Vec<Arc<DependenceChain>>) {
+        out.clear();
         self.tick += 1;
         self.lookups += 1;
         let tick = self.tick;
-        let chains: Vec<_> = self
-            .entries
-            .iter_mut()
-            .filter(|e| e.chain.tag.matches(pc, outcome))
-            .map(|e| {
+        for e in &mut self.entries {
+            if e.chain.tag.matches(pc, outcome) {
                 e.lru = tick;
-                Arc::clone(&e.chain)
-            })
-            .collect();
-        if !chains.is_empty() {
+                out.push(Arc::clone(&e.chain));
+            }
+        }
+        if !out.is_empty() {
             self.hits += 1;
         }
-        chains
     }
 
     /// Whether any cached chain would match the `(pc, outcome)` event

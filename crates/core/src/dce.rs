@@ -12,7 +12,6 @@
 //! core left idle this cycle; the Core-Only variant additionally executes
 //! compute ops only in the core's idle issue slots.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use br_isa::{ArchReg, CpuState, Flags, Machine, Pc, Width};
@@ -34,69 +33,105 @@ enum SrcRef {
     Op(usize),
 }
 
+/// One byte per op: instances inline an op-state array, and a small state
+/// keeps them cheap to move. ALU completion times live in the engine's
+/// event list ([`DependenceChainEngine::alu_events`]), not here.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum OpState {
     Waiting,
-    Issued { done_at: u64 },
+    Issued,
     MemPending,
     Done,
 }
 
+/// An op's resolved source references: at most two per op, stored inline
+/// so a view never chases a per-op heap allocation.
+#[derive(Clone, Copy, Debug)]
+struct OpSrcs {
+    refs: [SrcRef; 2],
+    n: u8,
+}
+
+impl OpSrcs {
+    fn as_slice(&self) -> &[SrcRef] {
+        &self.refs[..usize::from(self.n)]
+    }
+}
+
 /// Dataflow view of a chain: per-op source references and live-out
-/// resolution, precomputed once per instance.
+/// resolution, precomputed once per *chain* and shared by every instance
+/// of it (the view cache keys on the chain's `Arc` identity).
 #[derive(Clone, Debug)]
 struct DataflowView {
-    srcs: Vec<Vec<SrcRef>>,
+    srcs: Vec<OpSrcs>,
     /// For each live-out `(arch, _)`: where its final value comes from.
     outs: Vec<(ArchReg, SrcRef)>,
     /// Index of the flag-producing cmp (the last one in the chain).
     flags_op: usize,
 }
 
-fn resolve_src(
-    s: &ChainSrc,
-    writer: &HashMap<u8, usize>,
-    live_in_of: &HashMap<u8, ArchReg>,
-) -> SrcRef {
+/// Per-local-reg resolution state while building a view. Local regs are
+/// `u8`-indexed, so direct-indexed tables replace hash maps.
+struct ResolveTables {
+    /// Op index of the latest writer of each local, or `usize::MAX`.
+    writer: [usize; 256],
+    /// The live-in arch reg bound to each unwritten local, if any.
+    live_in_of: [Option<ArchReg>; 256],
+}
+
+fn resolve_src(s: &ChainSrc, t: &ResolveTables) -> SrcRef {
     match s {
         ChainSrc::Imm(v) => SrcRef::Imm(*v),
-        ChainSrc::Reg(l) => match writer.get(l) {
-            Some(op) => SrcRef::Op(*op),
-            None => SrcRef::LiveIn(
-                *live_in_of
-                    .get(l)
-                    .expect("unwritten local must be a live-in"),
-            ),
-        },
+        ChainSrc::Reg(l) => {
+            let w = t.writer[usize::from(*l)];
+            if w != usize::MAX {
+                SrcRef::Op(w)
+            } else {
+                SrcRef::LiveIn(
+                    t.live_in_of[usize::from(*l)].expect("unwritten local must be a live-in"),
+                )
+            }
+        }
     }
 }
 
 fn build_dataflow(chain: &DependenceChain) -> DataflowView {
-    let live_in_of: HashMap<u8, ArchReg> = chain.live_ins.iter().map(|(a, l)| (*l, *a)).collect();
-    let mut writer: HashMap<u8, usize> = HashMap::new();
+    let mut t = ResolveTables {
+        writer: [usize::MAX; 256],
+        live_in_of: [None; 256],
+    };
+    for (a, l) in &chain.live_ins {
+        t.live_in_of[usize::from(*l)] = Some(*a);
+    }
     let mut srcs = Vec::with_capacity(chain.ops.len());
     let mut flags_op = usize::MAX;
     for (i, op) in chain.ops.iter().enumerate() {
-        let refs: Vec<SrcRef> = match op {
-            ChainOp::Alu { src1, src2, .. } | ChainOp::Cmp { src1, src2 } => vec![
-                resolve_src(src1, &writer, &live_in_of),
-                resolve_src(src2, &writer, &live_in_of),
-            ],
-            ChainOp::Mov { src, .. } => vec![resolve_src(src, &writer, &live_in_of)],
+        let mut refs = OpSrcs {
+            refs: [SrcRef::Imm(0); 2],
+            n: 0,
+        };
+        let push = |r: SrcRef, refs: &mut OpSrcs| {
+            refs.refs[usize::from(refs.n)] = r;
+            refs.n += 1;
+        };
+        match op {
+            ChainOp::Alu { src1, src2, .. } | ChainOp::Cmp { src1, src2 } => {
+                push(resolve_src(src1, &t), &mut refs);
+                push(resolve_src(src2, &t), &mut refs);
+            }
+            ChainOp::Mov { src, .. } => push(resolve_src(src, &t), &mut refs),
             ChainOp::Load { base, index, .. } => {
-                let mut v = Vec::new();
                 if let Some(b) = base {
-                    v.push(resolve_src(b, &writer, &live_in_of));
+                    push(resolve_src(b, &t), &mut refs);
                 }
                 if let Some(x) = index {
-                    v.push(resolve_src(x, &writer, &live_in_of));
+                    push(resolve_src(x, &t), &mut refs);
                 }
-                v
             }
-        };
+        }
         srcs.push(refs);
         if let Some(d) = op.dst_reg() {
-            writer.insert(d, i);
+            t.writer[usize::from(d)] = i;
         }
         if matches!(op, ChainOp::Cmp { .. }) {
             flags_op = i;
@@ -105,7 +140,7 @@ fn build_dataflow(chain: &DependenceChain) -> DataflowView {
     let outs = chain
         .live_outs
         .iter()
-        .map(|(a, b)| (*a, resolve_src(b, &writer, &live_in_of)))
+        .map(|(a, b)| (*a, resolve_src(b, &t)))
         .collect();
     DataflowView {
         srcs,
@@ -114,12 +149,23 @@ fn build_dataflow(chain: &DependenceChain) -> DataflowView {
     }
 }
 
+/// Upper bound on ops per chain, sized for the largest `max-chain-len`
+/// the Figure 13 sweep explores (the paper's budget is 16). Keeping op
+/// state inline in the instance makes initiation allocation-free.
+const MAX_CHAIN_OPS: usize = 32;
+
 struct Instance {
     id: u64,
     chain: Arc<DependenceChain>,
-    view: DataflowView,
-    op_state: Vec<OpState>,
-    op_result: Vec<u64>,
+    view: Arc<DataflowView>,
+    op_state: [OpState; MAX_CHAIN_OPS],
+    op_result: [u64; MAX_CHAIN_OPS],
+    /// Bitmasks mirroring `op_state` (bit per op): ops not yet `Done`,
+    /// ops still `Waiting`, ops in flight as `Issued`. They let the tick
+    /// loops visit only ops that can actually make progress.
+    undone: u32,
+    waiting: u32,
+    issued: u32,
     flags: Option<Flags>,
     /// Architectural context inherited from the producer (or the core at
     /// a sync). `ctx_ready[r]` gates reads.
@@ -168,6 +214,18 @@ impl Instance {
         self.outcome.is_some()
     }
 
+    /// Takes the instance's growable lists for reuse, cleared (dropping
+    /// their `Arc`s now rather than when the pool entry is next used).
+    fn recycle_vecs(&mut self) -> InstanceVecs {
+        let mut spawned = std::mem::take(&mut self.spawned);
+        let mut pending_spawn = std::mem::take(&mut self.pending_spawn);
+        let mut placeholders = std::mem::take(&mut self.placeholders);
+        spawned.clear();
+        pending_spawn.clear();
+        placeholders.clear();
+        (spawned, pending_spawn, placeholders)
+    }
+
     fn chain_key(c: &Arc<DependenceChain>) -> usize {
         Arc::as_ptr(c) as usize
     }
@@ -199,17 +257,79 @@ enum Initiate {
     QueueFull,
 }
 
+/// Reusable tick-path buffers owned by the engine and cleared per use, so
+/// steady-state cycles never touch the heap. Buffers consumed while
+/// `&mut self` methods run are `mem::take`n and restored (keeping their
+/// capacity) rather than reallocated.
+#[derive(Default)]
+struct Scratch {
+    /// Context pulls gathered in phase 2: `(inst idx, reg, val)`.
+    pulls: Vec<(usize, usize, u64)>,
+    /// Instances completing this cycle.
+    completed: Vec<u64>,
+    /// Instances with deferred spawns to retry.
+    stuck: Vec<u64>,
+    /// Producers blocked from freeing by a context-starved dependent.
+    blocked: Vec<u64>,
+    /// Work queue for `kill_recursive`.
+    kill_work: Vec<u64>,
+    /// Work queue for `spawn_early`.
+    spawn_work: Vec<u64>,
+    /// Wildcard / non-wildcard successor chains in `spawn_early`.
+    chains_wild: Vec<Arc<DependenceChain>>,
+    chains_nonwild: Vec<Arc<DependenceChain>>,
+    /// Chain-cache lookup buffer for `spawn_early` (live across the
+    /// buffers above, so it needs its own storage).
+    spawn_lookup: Vec<Arc<DependenceChain>>,
+    /// Chain-cache lookup buffer for `spawn_at_completion` / `sync_initiate`.
+    lookup: Vec<Arc<DependenceChain>>,
+    /// Wrong- then right-assumption successor ids in `spawn_at_completion`.
+    judged: Vec<u64>,
+    /// Newly spawned instance ids in `spawn_at_completion`.
+    newly: Vec<u64>,
+    /// Deferred-spawn entries being retried in tick phase 6.
+    pending: Vec<(Arc<DependenceChain>, Option<bool>, u64)>,
+}
+
+/// The three per-instance growable lists, recycled between activations so
+/// steady-state initiation performs no heap allocation.
+type InstanceVecs = (
+    Vec<(usize, Option<bool>, u64)>,
+    Vec<(Arc<DependenceChain>, Option<bool>, u64)>,
+    Vec<(Arc<DependenceChain>, u64, bool)>,
+);
+
 /// The Dependence Chain Engine.
 pub struct DependenceChainEngine {
     cfg: BranchRunaheadConfig,
     instances: Vec<Instance>,
     next_id: u64,
-    /// Outstanding DCE loads: req id -> (instance id, op idx, addr).
-    pending_mem: HashMap<ReqId, (u64, usize, u64)>,
-    /// 3-bit initiation counters (Predictive mode, §4.1).
-    init_counters: HashMap<Pc, u8>,
+    /// Outstanding DCE loads: `(req id, instance id, op idx, addr)`.
+    /// Bounded by the DCE MSHR budget, so a linear scan beats hashing.
+    pending_mem: Vec<(ReqId, u64, usize, u64)>,
+    /// 3-bit initiation counters (Predictive mode, §4.1), keyed by branch
+    /// PC. Hard branches are few (HBT-bounded): linear scan, no hashing.
+    init_counters: Vec<(Pc, u8)>,
+    /// Dataflow views built once per chain and shared by its instances,
+    /// keyed by `Arc` identity (holding the `Arc` keeps the key stable).
+    view_cache: Vec<(usize, Arc<DependenceChain>, Arc<DataflowView>)>,
+    /// Live (non-dead) instance count, maintained incrementally so the
+    /// per-initiation window check is O(1).
+    live: usize,
+    /// In-flight ALU ops: `(done_at, instance id, op idx)`. Bounded by the
+    /// ALU issue rate times the max op latency; scanning it beats storing
+    /// a completion cycle per op per instance.
+    alu_events: Vec<(u64, u64, u8)>,
+    /// Recycled `spawned`/`pending_spawn`/`placeholders` buffers from
+    /// freed instances, reused by the next initiations.
+    vec_pool: Vec<InstanceVecs>,
+    scratch: Scratch,
     cycle: u64,
 }
+
+/// Cap on cached dataflow views; on overflow the cache resets (views are
+/// cheap to rebuild and the big config's chain cache holds 1024 chains).
+const VIEW_CACHE_CAP: usize = 2048;
 
 impl std::fmt::Debug for DependenceChainEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -228,23 +348,51 @@ impl DependenceChainEngine {
             cfg,
             instances: Vec::new(),
             next_id: 0,
-            pending_mem: HashMap::new(),
-            init_counters: HashMap::new(),
+            pending_mem: Vec::new(),
+            init_counters: Vec::new(),
+            view_cache: Vec::new(),
+            live: 0,
+            alu_events: Vec::new(),
+            vec_pool: Vec::new(),
+            scratch: Scratch::default(),
             cycle: 0,
+        }
+    }
+
+    /// The (cached) dataflow view for `chain`. The cache is sorted by key
+    /// for binary-search hits; a view is a pure function of its chain, so
+    /// cache resets never change observable behaviour.
+    fn dataflow_view(&mut self, chain: &Arc<DependenceChain>) -> Arc<DataflowView> {
+        let key = Instance::chain_key(chain);
+        match self.view_cache.binary_search_by_key(&key, |(k, _, _)| *k) {
+            Ok(i) => Arc::clone(&self.view_cache[i].2),
+            Err(i) => {
+                let view = Arc::new(build_dataflow(chain));
+                if self.view_cache.len() >= VIEW_CACHE_CAP {
+                    self.view_cache.clear();
+                    self.view_cache
+                        .push((key, Arc::clone(chain), Arc::clone(&view)));
+                } else {
+                    self.view_cache
+                        .insert(i, (key, Arc::clone(chain), Arc::clone(&view)));
+                }
+                view
+            }
         }
     }
 
     /// Live (non-dead) instance count.
     #[must_use]
     pub fn active_instances(&self) -> usize {
-        self.instances.iter().filter(|i| !i.dead).count()
+        debug_assert_eq!(self.live, self.instances.iter().filter(|i| !i.dead).count());
+        self.live
     }
 
     /// Whether memory request `id` is an outstanding DCE load (the fault
     /// harness uses this to delay only DCE traffic).
     #[must_use]
     pub fn owns_request(&self, id: ReqId) -> bool {
-        self.pending_mem.contains_key(&id)
+        self.pending_mem.iter().any(|(r, ..)| *r == id)
     }
 
     /// Validates structural invariants: the live-instance window bound,
@@ -255,6 +403,16 @@ impl DependenceChainEngine {
     ///
     /// Returns a description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
+        let recount = self.instances.iter().filter(|i| !i.dead).count();
+        if self.live != recount {
+            return Err(format!(
+                "dce: live counter {} disagrees with recount {}",
+                self.live, recount
+            ));
+        }
+        if !self.instances.is_sorted_by_key(|i| i.id) {
+            return Err("dce: instances not sorted by id".to_string());
+        }
         if self.active_instances() > self.cfg.window_instances {
             return Err(format!(
                 "dce: {} live instances exceed window {}",
@@ -282,7 +440,15 @@ impl DependenceChainEngine {
     /// Updates the per-branch 3-bit initiation counter with a resolved
     /// outcome.
     pub fn train_init_counter(&mut self, pc: Pc, taken: bool) {
-        let c = self.init_counters.entry(pc).or_insert(4);
+        let i = self
+            .init_counters
+            .iter()
+            .position(|(p, _)| *p == pc)
+            .unwrap_or_else(|| {
+                self.init_counters.push((pc, 4));
+                self.init_counters.len() - 1
+            });
+        let c = &mut self.init_counters[i].1;
         if taken {
             *c = (*c + 1).min(7);
         } else {
@@ -291,7 +457,11 @@ impl DependenceChainEngine {
     }
 
     fn predict_init(&self, pc: Pc) -> bool {
-        self.init_counters.get(&pc).copied().unwrap_or(4) >= 4
+        self.init_counters
+            .iter()
+            .find(|(p, _)| *p == pc)
+            .map_or(4, |(_, c)| *c)
+            >= 4
     }
 
     /// Flushes every instance (synchronization).
@@ -310,6 +480,8 @@ impl DependenceChainEngine {
         }
         self.instances.clear();
         self.pending_mem.clear();
+        self.alu_events.clear();
+        self.live = 0;
     }
 
     fn kill_recursive(
@@ -319,11 +491,16 @@ impl DependenceChainEngine {
         queues: &mut PredictionQueues,
         stats: &mut BrStats,
     ) {
-        let mut work = vec![id];
+        let mut work = std::mem::take(&mut self.scratch.kill_work);
+        work.clear();
+        work.push(id);
         while let Some(cur) = work.pop() {
-            for inst in &mut self.instances {
-                if inst.id == cur && !inst.dead {
+            let mut producer = None;
+            if let Some(ci) = self.find(cur) {
+                let inst = &mut self.instances[ci];
+                if !inst.dead {
                     inst.dead = true;
+                    self.live -= 1;
                     stats.instances_flushed += 1;
                     if let Some((pc, slot)) = inst.slot {
                         match disposition {
@@ -340,6 +517,7 @@ impl DependenceChainEngine {
                             Disposition::Cancelled => queues.cancel(chain.branch_pc, *slot),
                         }
                     }
+                    producer = inst.producer;
                 }
             }
             for inst in &self.instances {
@@ -348,16 +526,27 @@ impl DependenceChainEngine {
                 }
             }
             // Forget the killed instance in its producer's spawn record so
-            // a later outcome can legitimately respawn the chain.
-            for inst in &mut self.instances {
-                inst.spawned.retain(|(_, _, sid)| *sid != cur);
+            // a later outcome can legitimately respawn the chain (only the
+            // producer ever records `cur` in `spawned`).
+            if let Some(pi) = producer.and_then(|p| self.find(p)) {
+                self.instances[pi].spawned.retain(|(_, _, sid)| *sid != cur);
             }
         }
-        self.instances.retain(|i| !i.dead);
+        let pool = &mut self.vec_pool;
+        self.instances.retain_mut(|i| {
+            if i.dead {
+                pool.push(Instance::recycle_vecs(i));
+            }
+            !i.dead
+        });
+        self.scratch.kill_work = work;
     }
 
+    /// Index of instance `id`. Instances are created with ascending ids
+    /// and only removed by order-preserving `retain`, so the vector is
+    /// always id-sorted and a binary search suffices.
     fn find(&self, id: u64) -> Option<usize> {
-        self.instances.iter().position(|i| i.id == id)
+        self.instances.binary_search_by_key(&id, |i| i.id).ok()
     }
 
     /// Initiates a chain instance. `producer` is `None` for a core sync.
@@ -394,8 +583,10 @@ impl DependenceChainEngine {
         }
         let id = self.next_id;
         self.next_id += 1;
-        let view = build_dataflow(chain);
+        let view = self.dataflow_view(chain);
         let n = chain.ops.len();
+        assert!(n <= MAX_CHAIN_OPS, "chain exceeds MAX_CHAIN_OPS");
+        let all_ops: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
         let mut ctx = [0u64; 16];
         let mut ctx_ready = [false; 16];
         let mut ctx_missing = 16u8;
@@ -404,12 +595,16 @@ impl DependenceChainEngine {
             ctx_ready = [true; 16];
             ctx_missing = 0;
         }
+        let (spawned, pending_spawn, placeholders) = self.vec_pool.pop().unwrap_or_default();
         self.instances.push(Instance {
             id,
             chain: Arc::clone(chain),
             view,
-            op_state: vec![OpState::Waiting; n],
-            op_result: vec![0; n],
+            op_state: [OpState::Waiting; MAX_CHAIN_OPS],
+            op_result: [0; MAX_CHAIN_OPS],
+            undone: all_ops,
+            waiting: all_ops,
+            issued: 0,
             flags: None,
             ctx,
             ctx_ready,
@@ -418,12 +613,13 @@ impl DependenceChainEngine {
             outcome: None,
             slot: Some((chain.branch_pc, slot)),
             assumption,
-            spawned: Vec::new(),
+            spawned,
             spawn_done: false,
-            pending_spawn: Vec::new(),
-            placeholders: Vec::new(),
+            pending_spawn,
+            placeholders,
             dead: false,
         });
+        self.live += 1;
         stats.instances_initiated += 1;
         debug_assert!(
             self.instances
@@ -447,12 +643,14 @@ impl DependenceChainEngine {
         stats: &mut BrStats,
     ) {
         stats.syncs += 1;
-        let chains = cache.lookup(pc, outcome);
-        for chain in chains {
-            if let Initiate::Ok(id) = self.initiate(&chain, None, Some(cpu), None, queues, stats) {
+        let mut chains = std::mem::take(&mut self.scratch.lookup);
+        cache.lookup_into(pc, outcome, &mut chains);
+        for chain in &chains {
+            if let Initiate::Ok(id) = self.initiate(chain, None, Some(cpu), None, queues, stats) {
                 self.spawn_early(id, cache, queues, stats);
             }
         }
+        self.scratch.lookup = chains;
     }
 
     /// Window slots kept free of the eager wildcard cascade so that
@@ -479,7 +677,12 @@ impl DependenceChainEngine {
         // (slots cost no window space and must be allocated in program
         // order).
         let reserve = self.spawn_reserve();
-        let mut work = vec![id];
+        let mut work = std::mem::take(&mut self.scratch.spawn_work);
+        work.clear();
+        work.push(id);
+        let mut to_spawn = std::mem::take(&mut self.scratch.chains_wild);
+        let mut non_wild = std::mem::take(&mut self.scratch.chains_nonwild);
+        let mut looked = std::mem::take(&mut self.scratch.spawn_lookup);
         while let Some(pid) = work.pop() {
             let Some(pidx) = self.find(pid) else { continue };
             let trigger_pc = self.instances[pidx].chain.branch_pc;
@@ -490,21 +693,23 @@ impl DependenceChainEngine {
             }
             // Wildcard successors initiate immediately (they run no matter
             // how the trigger resolves).
-            let mut to_spawn: Vec<Arc<DependenceChain>> = Vec::new();
-            let mut non_wild: Vec<Arc<DependenceChain>> = Vec::new();
-            for chain in cache.lookup(trigger_pc, true) {
+            to_spawn.clear();
+            non_wild.clear();
+            cache.lookup_into(trigger_pc, true, &mut looked);
+            for chain in looked.drain(..) {
                 if chain.tag.is_wildcard() {
                     to_spawn.push(chain);
                 } else {
                     non_wild.push(chain);
                 }
             }
-            for chain in cache.lookup(trigger_pc, false) {
+            cache.lookup_into(trigger_pc, false, &mut looked);
+            for chain in looked.drain(..) {
                 if !chain.tag.is_wildcard() {
                     non_wild.push(chain);
                 }
             }
-            for chain in to_spawn {
+            for chain in to_spawn.drain(..) {
                 let key = Instance::chain_key(&chain);
                 let room = self.active_instances() + reserve <= self.cfg.window_instances;
                 let attempt = if room {
@@ -531,7 +736,7 @@ impl DependenceChainEngine {
             // order). Predictive mode also starts the predicted ones; the
             // rest wait as placeholders for the trigger outcome.
             let predicted = self.predict_init(trigger_pc);
-            for chain in non_wild {
+            for chain in non_wild.drain(..) {
                 let key = Instance::chain_key(&chain);
                 let required = chain.tag.outcome.expect("non-wildcard tag");
                 let Some(slot) = queues.allocate_slot(chain.branch_pc) else {
@@ -570,6 +775,10 @@ impl DependenceChainEngine {
                 }
             }
         }
+        self.scratch.spawn_work = work;
+        self.scratch.chains_wild = to_spawn;
+        self.scratch.chains_nonwild = non_wild;
+        self.scratch.spawn_lookup = looked;
     }
 
     /// Outcome-time successor handling: kill wrong-assumption speculative
@@ -588,37 +797,50 @@ impl DependenceChainEngine {
         // Flush mispredicted speculative successors. Their (and their
         // descendants') queue slots are *cancelled*: those branch
         // executions never happen on the correct path.
-        let wrong: Vec<u64> = self.instances[idx]
-            .spawned
-            .iter()
-            .filter(|(_, a, _)| a.is_some_and(|a| a != outcome))
-            .map(|(_, _, sid)| *sid)
-            .collect();
-        for sid in wrong {
+        let mut judged = std::mem::take(&mut self.scratch.judged);
+        judged.clear();
+        judged.extend(
+            self.instances[idx]
+                .spawned
+                .iter()
+                .filter(|(_, a, _)| a.is_some_and(|a| a != outcome))
+                .map(|(_, _, sid)| *sid),
+        );
+        for &sid in &judged {
             self.kill_recursive(sid, Disposition::Cancelled, queues, stats);
         }
         // Validate the surviving speculative successors: their assumption
         // held, so they may now complete and be freed normally.
-        let Some(own) = self.find(id) else { return };
-        let right: Vec<u64> = self.instances[own]
-            .spawned
-            .iter()
-            .filter(|(_, a, _)| a.is_some())
-            .map(|(_, _, sid)| *sid)
-            .collect();
-        for sid in right {
+        let Some(own) = self.find(id) else {
+            self.scratch.judged = judged;
+            return;
+        };
+        judged.clear();
+        judged.extend(
+            self.instances[own]
+                .spawned
+                .iter()
+                .filter(|(_, a, _)| a.is_some())
+                .map(|(_, _, sid)| *sid),
+        );
+        for &sid in &judged {
             if let Some(sidx) = self.find(sid) {
                 self.instances[sidx].assumption = None;
             }
         }
+        self.scratch.judged = judged;
 
-        let mut newly = Vec::new();
+        let mut newly = std::mem::take(&mut self.scratch.newly);
+        newly.clear();
 
         // Resolve placeholder slots: matching chains start now (into their
         // pre-allocated, correctly ordered slots); non-matching slots are
         // cancelled so fetch skips them.
         let placeholders = {
-            let Some(idx) = self.find(id) else { return };
+            let Some(idx) = self.find(id) else {
+                self.scratch.newly = newly;
+                return;
+            };
             std::mem::take(&mut self.instances[idx].placeholders)
         };
         for (chain, slot, required) in placeholders {
@@ -654,14 +876,14 @@ impl DependenceChainEngine {
         // grows at completion — and only the tail can lack a spawned
         // successor, so queue order is preserved.
         {
-            let matching: Vec<_> = cache
-                .lookup(trigger_pc, outcome)
-                .into_iter()
-                .filter(|c| {
-                    self.cfg.initiation == InitiationMode::NonSpeculative || c.tag.is_wildcard()
-                })
-                .collect();
-            for chain in matching {
+            let mut looked = std::mem::take(&mut self.scratch.lookup);
+            cache.lookup_into(trigger_pc, outcome, &mut looked);
+            for chain in looked.drain(..) {
+                if !(self.cfg.initiation == InitiationMode::NonSpeculative
+                    || chain.tag.is_wildcard())
+                {
+                    continue;
+                }
                 let key = Instance::chain_key(&chain);
                 let Some(idx) = self.find(id) else { break };
                 let already = self.instances[idx]
@@ -697,14 +919,16 @@ impl DependenceChainEngine {
                     }
                 }
             }
+            self.scratch.lookup = looked;
         }
 
         if let Some(idx) = self.find(id) {
             self.instances[idx].spawn_done = true;
         }
-        for nid in newly {
+        for &nid in &newly {
             self.spawn_early(nid, cache, queues, stats);
         }
+        self.scratch.newly = newly;
     }
 
     /// Kills the youngest live, uncompleted *leaf* instance other than
@@ -718,18 +942,17 @@ impl DependenceChainEngine {
         queues: &mut PredictionQueues,
         stats: &mut BrStats,
     ) -> bool {
-        let has_successor: std::collections::HashSet<u64> = self
-            .instances
-            .iter()
-            .filter(|i| !i.dead)
-            .filter_map(|i| i.producer)
-            .collect();
+        // Rare path (window-full outcome spawns): a quadratic scan over a
+        // window-bounded set beats building a hash set per call.
+        let has_successor = |id: u64| {
+            self.instances
+                .iter()
+                .any(|i| !i.dead && i.producer == Some(id))
+        };
         let victim = self
             .instances
             .iter()
-            .filter(|i| {
-                !i.dead && !i.completed() && i.id != exclude && !has_successor.contains(&i.id)
-            })
+            .filter(|i| !i.dead && !i.completed() && i.id != exclude && !has_successor(i.id))
             .map(|i| i.id)
             .max();
         match victim {
@@ -759,7 +982,9 @@ impl DependenceChainEngine {
 
         // 1. Memory completions: read the value *now* (arrival time).
         for r in responses {
-            if let Some((iid, op_idx, addr)) = self.pending_mem.remove(&r.id) {
+            let pos = self.pending_mem.iter().position(|(rid, ..)| *rid == r.id);
+            if let Some(pos) = pos {
+                let (_, iid, op_idx, addr) = self.pending_mem.swap_remove(pos);
                 if let Some(idx) = self.find(iid) {
                     let inst = &mut self.instances[idx];
                     if inst.op_state[op_idx] == OpState::MemPending {
@@ -770,6 +995,7 @@ impl DependenceChainEngine {
                         let raw = machine.memory().read(addr, width);
                         inst.op_result[op_idx] = if signed { width.sign_extend(raw) } else { raw };
                         inst.op_state[op_idx] = OpState::Done;
+                        inst.undone &= !(1 << op_idx);
                     }
                 }
             }
@@ -779,7 +1005,8 @@ impl DependenceChainEngine {
         // live-ins (and, when completed, their full pass-through context)
         // from their producer chain. Two-phase to satisfy the borrow
         // checker: gather reads, then apply.
-        let mut pulls: Vec<(usize, usize, u64)> = Vec::new(); // (inst idx, reg, val)
+        let mut pulls = std::mem::take(&mut self.scratch.pulls); // (inst idx, reg, val)
+        pulls.clear();
         for (i, inst) in self.instances.iter().enumerate() {
             if inst.dead || inst.ctx_missing == 0 {
                 continue;
@@ -803,7 +1030,7 @@ impl DependenceChainEngine {
                 }
             }
         }
-        for (i, r, v) in pulls {
+        for &(i, r, v) in &pulls {
             let inst = &mut self.instances[i];
             if !inst.ctx_ready[r] {
                 inst.ctx[r] = v;
@@ -811,6 +1038,7 @@ impl DependenceChainEngine {
                 inst.ctx_missing -= 1;
             }
         }
+        self.scratch.pulls = pulls;
 
         // 3. Issue ready ops.
         let mut alu_budget = if self.cfg.dce_alus > 0 {
@@ -826,18 +1054,17 @@ impl DependenceChainEngine {
             if self.instances[idx].dead || self.instances[idx].completed() {
                 continue;
             }
-            for op_idx in 0..self.instances[idx].chain.ops.len() {
-                if self.instances[idx].op_state[op_idx] != OpState::Waiting {
-                    continue;
-                }
+            let mut wm = self.instances[idx].waiting;
+            while wm != 0 {
+                let op_idx = wm.trailing_zeros() as usize;
+                wm &= wm - 1;
                 // In-order ablation: an op may only issue when every older
                 // op in the chain has at least issued.
-                if self.cfg.dce_in_order
-                    && self.instances[idx].op_state[..op_idx].contains(&OpState::Waiting)
-                {
+                if self.cfg.dce_in_order && self.instances[idx].waiting & ((1 << op_idx) - 1) != 0 {
                     break;
                 }
                 let ready = self.instances[idx].view.srcs[op_idx]
+                    .as_slice()
                     .iter()
                     .all(|s| self.instances[idx].value_of(*s).is_some());
                 if !ready {
@@ -859,8 +1086,8 @@ impl DependenceChainEngine {
                     else {
                         unreachable!()
                     };
-                    let refs = &inst.view.srcs[op_idx];
-                    let mut it = refs.iter();
+                    let refs = inst.view.srcs[op_idx];
+                    let mut it = refs.as_slice().iter();
                     let b = base
                         .map(|_| inst.value_of(*it.next().expect("base ref")).expect("ready"))
                         .unwrap_or(0);
@@ -876,8 +1103,9 @@ impl DependenceChainEngine {
                     let iid = inst.id;
                     match mem.request(addr, false, ReqSource::Dce, cycle) {
                         Ok(req) => {
-                            self.pending_mem.insert(req, (iid, op_idx, addr));
+                            self.pending_mem.push((req, iid, op_idx, addr));
                             self.instances[idx].op_state[op_idx] = OpState::MemPending;
+                            self.instances[idx].waiting &= !(1 << op_idx);
                             load_budget -= 1;
                             stats.dce_uops += 1;
                             stats.dce_loads += 1;
@@ -889,57 +1117,67 @@ impl DependenceChainEngine {
                         continue;
                     }
                     let lat = op.latency();
-                    self.instances[idx].op_state[op_idx] = OpState::Issued {
-                        done_at: cycle + lat,
-                    };
+                    let iid = self.instances[idx].id;
+                    self.alu_events.push((cycle + lat, iid, op_idx as u8));
+                    self.instances[idx].op_state[op_idx] = OpState::Issued;
+                    self.instances[idx].waiting &= !(1 << op_idx);
+                    self.instances[idx].issued |= 1 << op_idx;
                     alu_budget -= 1;
                     stats.dce_uops += 1;
                 }
             }
         }
 
-        // 4. Compute completions.
-        for idx in 0..self.instances.len() {
-            if self.instances[idx].dead {
+        // 4. Compute completions: drain due ALU events (stale events for
+        // killed/flushed instances fall out via the `find` miss).
+        let mut ev = std::mem::take(&mut self.alu_events);
+        let mut kept = 0;
+        for k in 0..ev.len() {
+            let (done_at, iid, op8) = ev[k];
+            if done_at > cycle {
+                ev[kept] = ev[k];
+                kept += 1;
                 continue;
             }
-            for op_idx in 0..self.instances[idx].chain.ops.len() {
-                let OpState::Issued { done_at } = self.instances[idx].op_state[op_idx] else {
-                    continue;
-                };
-                if done_at > cycle {
-                    continue;
-                }
-                let inst = &self.instances[idx];
-                let vals: Vec<u64> = inst.view.srcs[op_idx]
-                    .iter()
-                    .map(|s| inst.value_of(*s).expect("issued implies ready"))
-                    .collect();
-                let op = inst.chain.ops[op_idx];
-                let inst = &mut self.instances[idx];
-                match op {
-                    ChainOp::Alu { op, .. } => {
-                        inst.op_result[op_idx] = op.eval(vals[0], vals[1]);
-                    }
-                    ChainOp::Mov { .. } => inst.op_result[op_idx] = vals[0],
-                    ChainOp::Cmp { .. } => {
-                        inst.flags = Some(Flags::from_cmp(vals[0], vals[1]));
-                    }
-                    ChainOp::Load { .. } => unreachable!("loads complete via memory"),
-                }
-                inst.op_state[op_idx] = OpState::Done;
+            let op_idx = usize::from(op8);
+            let Some(idx) = self.find(iid) else { continue };
+            if self.instances[idx].dead || self.instances[idx].op_state[op_idx] != OpState::Issued {
+                continue;
             }
+            let inst = &self.instances[idx];
+            let mut vals = [0u64; 2];
+            for (j, s) in inst.view.srcs[op_idx].as_slice().iter().enumerate() {
+                vals[j] = inst.value_of(*s).expect("issued implies ready");
+            }
+            let op = inst.chain.ops[op_idx];
+            let inst = &mut self.instances[idx];
+            match op {
+                ChainOp::Alu { op, .. } => {
+                    inst.op_result[op_idx] = op.eval(vals[0], vals[1]);
+                }
+                ChainOp::Mov { .. } => inst.op_result[op_idx] = vals[0],
+                ChainOp::Cmp { .. } => {
+                    inst.flags = Some(Flags::from_cmp(vals[0], vals[1]));
+                }
+                ChainOp::Load { .. } => unreachable!("loads complete via memory"),
+            }
+            inst.op_state[op_idx] = OpState::Done;
+            inst.issued &= !(1 << op_idx);
+            inst.undone &= !(1 << op_idx);
         }
+        ev.truncate(kept);
+        self.alu_events = ev;
 
         // 5. Instance completion: all ops done -> outcome, fill queue,
         // spawn successors.
-        let mut completed_now = Vec::new();
+        let mut completed_now = std::mem::take(&mut self.scratch.completed);
+        completed_now.clear();
         for idx in 0..self.instances.len() {
             let inst = &self.instances[idx];
             if inst.dead || inst.completed() {
                 continue;
             }
-            if inst.op_state.iter().all(|s| *s == OpState::Done) {
+            if inst.undone == 0 {
                 debug_assert_eq!(
                     inst.op_state[inst.view.flags_op],
                     OpState::Done,
@@ -958,22 +1196,29 @@ impl DependenceChainEngine {
                 completed_now.push(id);
             }
         }
-        for id in completed_now {
+        for &id in &completed_now {
             self.spawn_at_completion(id, cache, queues, stats);
         }
+        self.scratch.completed = completed_now;
 
         // 6. Retry deferred spawns (window/queue pressure), oldest first;
         // drop spawns stuck past the timeout so the engine can drain.
-        let stuck: Vec<u64> = self
-            .instances
-            .iter()
-            .filter(|i| !i.dead && !i.pending_spawn.is_empty())
-            .map(|i| i.id)
-            .collect();
-        for id in stuck {
+        let mut stuck = std::mem::take(&mut self.scratch.stuck);
+        stuck.clear();
+        stuck.extend(
+            self.instances
+                .iter()
+                .filter(|i| !i.dead && !i.pending_spawn.is_empty())
+                .map(|i| i.id),
+        );
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        for &id in &stuck {
             let Some(idx) = self.find(id) else { continue };
-            let pending = std::mem::take(&mut self.instances[idx].pending_spawn);
-            for (chain, assumption, since) in pending {
+            // `append` empties the instance's queue but keeps its capacity,
+            // so requeued entries below don't reallocate it.
+            pending.clear();
+            pending.append(&mut self.instances[idx].pending_spawn);
+            for (chain, assumption, since) in pending.drain(..) {
                 let key = Instance::chain_key(&chain);
                 let room = if chain.tag.is_wildcard()
                     && self.cfg.initiation != InitiationMode::NonSpeculative
@@ -1008,26 +1253,41 @@ impl DependenceChainEngine {
                 }
             }
         }
+        self.scratch.pending = pending;
+        self.scratch.stuck = stuck;
 
         // 7. Free drained instances: completed, successors spawned, and no
         // live dependent still missing context.
-        let blocked: Vec<u64> = self
-            .instances
-            .iter()
-            .filter(|s| !s.dead && s.ctx_missing > 0)
-            .filter_map(|s| s.producer)
-            .collect();
-        self.instances.retain(|i| {
-            i.dead
-                || !(i.completed()
-                    && i.spawn_done
-                    // An unvalidated assumption means the producer hasn't
-                    // completed: stay killable until it does.
-                    && i.assumption.is_none()
-                    && i.pending_spawn.is_empty()
-                    && !blocked.contains(&i.id))
+        self.scratch.blocked.clear();
+        self.scratch.blocked.extend(
+            self.instances
+                .iter()
+                .filter(|s| !s.dead && s.ctx_missing > 0)
+                .filter_map(|s| s.producer),
+        );
+        self.scratch.blocked.sort_unstable();
+        let blocked = &self.scratch.blocked;
+        let pool = &mut self.vec_pool;
+        let mut removed_live = 0usize;
+        self.instances.retain_mut(|i| {
+            if i.dead {
+                pool.push(Instance::recycle_vecs(i));
+                return false;
+            }
+            let drained = i.completed()
+                && i.spawn_done
+                // An unvalidated assumption means the producer hasn't
+                // completed: stay killable until it does.
+                && i.assumption.is_none()
+                && i.pending_spawn.is_empty()
+                && blocked.binary_search(&i.id).is_err();
+            removed_live += usize::from(drained);
+            if drained {
+                pool.push(Instance::recycle_vecs(i));
+            }
+            !drained
         });
-        self.instances.retain(|i| !i.dead);
+        self.live -= removed_live;
     }
 }
 
@@ -1234,9 +1494,9 @@ mod tests {
         let chain = self_chain();
         let view = build_dataflow(&chain);
         // op1 (load) reads op0's result; op2 (cmp) reads op1's.
-        assert!(matches!(view.srcs[1][0], SrcRef::Op(0)));
-        assert!(matches!(view.srcs[2][0], SrcRef::Op(1)));
-        assert!(matches!(view.srcs[0][0], SrcRef::LiveIn(r) if r == reg::R3));
+        assert!(matches!(view.srcs[1].as_slice()[0], SrcRef::Op(0)));
+        assert!(matches!(view.srcs[2].as_slice()[0], SrcRef::Op(1)));
+        assert!(matches!(view.srcs[0].as_slice()[0], SrcRef::LiveIn(r) if r == reg::R3));
         assert_eq!(view.flags_op, 2);
         assert!(matches!(view.outs[0], (r, SrcRef::Op(0)) if r == reg::R3));
     }

@@ -17,9 +17,9 @@
 //! guarantees chains contain no stores, and local registers are compacted
 //! by lifetime so the chain fits an 8-entry local register file.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
-use br_isa::{ArchReg, Operand, Pc, RegSet, UopKind, FLAGS};
+use br_isa::{ArchReg, Operand, Pc, RegSet, UopKind, FLAGS, NUM_ARCH_REGS};
 
 use crate::ceb::{CebRecord, ChainExtractionBuffer};
 use crate::chain::{ChainOp, ChainSrc, ChainTag, DependenceChain, LocalReg};
@@ -60,20 +60,25 @@ enum Binding {
     Imm(i64),
 }
 
+/// Local renamer over direct-indexed architectural-register tables (the
+/// register file is 17 entries, so the maps are inline arrays — no
+/// hashing, no heap).
 struct Renamer {
-    bind: HashMap<ArchReg, Binding>,
+    bind: [Option<Binding>; NUM_ARCH_REGS],
     next_virtual: usize,
     live_ins: Vec<(ArchReg, usize)>,
-    written: BTreeSet<ArchReg>,
+    written: [bool; NUM_ARCH_REGS],
 }
 
 impl Renamer {
-    fn new() -> Self {
+    /// Creates a renamer reusing `live_ins` (cleared) as its buffer.
+    fn new(mut live_ins: Vec<(ArchReg, usize)>) -> Self {
+        live_ins.clear();
         Renamer {
-            bind: HashMap::new(),
+            bind: [None; NUM_ARCH_REGS],
             next_virtual: 0,
-            live_ins: Vec::new(),
-            written: BTreeSet::new(),
+            live_ins,
+            written: [false; NUM_ARCH_REGS],
         }
     }
 
@@ -85,13 +90,13 @@ impl Renamer {
 
     /// Resolves a read of `r`, allocating a live-in on first touch.
     fn read(&mut self, r: ArchReg) -> ChainSrcV {
-        match self.bind.get(&r) {
-            Some(Binding::Local(l)) => ChainSrcV::Reg(*l),
-            Some(Binding::Imm(v)) => ChainSrcV::Imm(*v),
+        match self.bind[r.index()] {
+            Some(Binding::Local(l)) => ChainSrcV::Reg(l),
+            Some(Binding::Imm(v)) => ChainSrcV::Imm(v),
             None => {
                 let l = self.alloc();
                 self.live_ins.push((r, l));
-                self.bind.insert(r, Binding::Local(l));
+                self.bind[r.index()] = Some(Binding::Local(l));
                 ChainSrcV::Reg(l)
             }
         }
@@ -106,8 +111,8 @@ impl Renamer {
 
     fn write(&mut self, r: ArchReg) -> usize {
         let l = self.alloc();
-        self.bind.insert(r, Binding::Local(l));
-        self.written.insert(r);
+        self.bind[r.index()] = Some(Binding::Local(l));
+        self.written[r.index()] = true;
         l
     }
 
@@ -116,8 +121,8 @@ impl Renamer {
             ChainSrcV::Reg(l) => Binding::Local(l),
             ChainSrcV::Imm(v) => Binding::Imm(v),
         };
-        self.bind.insert(r, b);
-        self.written.insert(r);
+        self.bind[r.index()] = Some(b);
+        self.written[r.index()] = true;
     }
 }
 
@@ -151,6 +156,30 @@ enum ChainOpV {
     },
 }
 
+/// Reusable buffers for [`extract_chain_with`]. Extraction runs on every
+/// HBT saturation event; the walk, rename, and compaction stages
+/// otherwise allocate roughly ten collections per attempt. All buffers
+/// are cleared on entry, so a long-lived scratch behaves identically to a
+/// fresh one (`tests/extraction_props.rs` proves this by property test).
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    /// Collected CEB indices, youngest-first during the walk.
+    collected: Vec<usize>,
+    /// Loads awaiting an older matching store: `(addr, width, load idx)`.
+    pending_loads: Vec<(u64, u64, usize)>,
+    /// Store→load elimination pairs: `(load idx, store idx)`.
+    pairs: Vec<(usize, usize)>,
+    /// Stored-value binding captured at the store's program position.
+    store_value: Vec<(usize, ChainSrcV)>,
+    /// Live-in accumulation handed to the [`Renamer`].
+    live_ins: Vec<(ArchReg, usize)>,
+    /// Renamed ops over virtual (pre-compaction) locals.
+    ops_v: Vec<ChainOpV>,
+    /// Final bindings of written registers.
+    live_outs_v: Vec<(ArchReg, ChainSrcV)>,
+    compact: CompactScratch,
+}
+
 /// Extracts the dependence chain of `target_pc` from the CEB.
 ///
 /// `ag_set` is the (bias-filtered) affector/guard set of the target from
@@ -165,15 +194,48 @@ pub fn extract_chain(
     ag_set: &BTreeSet<Pc>,
     limits: &ExtractLimits,
 ) -> Result<DependenceChain, ExtractOutcome> {
-    let (a, b) = ceb.as_slices();
-    let recs: Vec<&CebRecord> = a.iter().chain(b.iter()).collect();
+    extract_chain_with(
+        &mut ExtractScratch::default(),
+        ceb,
+        target_pc,
+        ag_set,
+        limits,
+    )
+}
+
+/// [`extract_chain`] with caller-owned scratch buffers (the engine reuses
+/// one scratch across every extraction attempt).
+///
+/// # Errors
+///
+/// Returns the [`ExtractOutcome`] describing why no chain was produced.
+pub fn extract_chain_with(
+    scr: &mut ExtractScratch,
+    ceb: &ChainExtractionBuffer,
+    target_pc: Pc,
+    ag_set: &BTreeSet<Pc>,
+    limits: &ExtractLimits,
+) -> Result<DependenceChain, ExtractOutcome> {
+    let (slice_a, slice_b) = ceb.as_slices();
+    let n = slice_a.len() + slice_b.len();
+    // Direct indexing across the CEB's two ring segments (no collecting).
+    let rec = |i: usize| -> &CebRecord {
+        if i < slice_a.len() {
+            &slice_a[i]
+        } else {
+            &slice_b[i - slice_a.len()]
+        }
+    };
 
     // Newest instance of the target.
-    let end = recs
-        .iter()
-        .rposition(|r| r.uop.pc == target_pc && r.uop.is_cond_branch())
+    let end = (0..n)
+        .rev()
+        .find(|&i| {
+            let r = rec(i);
+            r.uop.pc == target_pc && r.uop.is_cond_branch()
+        })
         .ok_or(ExtractOutcome::TargetMissing)?;
-    let target = recs[end];
+    let target = rec(end);
     let cond = match target.uop.kind {
         UopKind::Branch { cond, .. } => cond,
         _ => return Err(ExtractOutcome::TargetMissing),
@@ -181,16 +243,14 @@ pub fn extract_chain(
 
     // ---------------------------------------------------- backward walk
     let mut search: RegSet = target.srcs;
-    let mut collected: Vec<usize> = Vec::new(); // indices, youngest-first
-                                                // Loads awaiting an older matching store: (addr, width, load idx).
-    let mut pending_loads: Vec<(u64, u64, usize)> = Vec::new();
-    // load idx -> store idx, for elimination.
-    let mut pairs: HashMap<usize, usize> = HashMap::new();
+    scr.collected.clear();
+    scr.pending_loads.clear();
+    scr.pairs.clear();
     let mut tag: Option<ChainTag> = None;
     let mut guard_terminated = false;
 
     for i in (0..end).rev() {
-        let r = recs[i];
+        let r = rec(i);
         if r.uop.is_cond_branch() {
             if r.uop.pc == target_pc {
                 tag = Some(ChainTag {
@@ -214,13 +274,14 @@ pub fn extract_chain(
         // buffer" of Figure 9).
         if let Some((addr, width, is_store)) = r.mem {
             if is_store {
-                if let Some(pos) = pending_loads
+                if let Some(pos) = scr
+                    .pending_loads
                     .iter()
                     .position(|&(la, lw, _)| la == addr && lw == width.bytes())
                 {
-                    let (_, _, load_idx) = pending_loads.swap_remove(pos);
-                    pairs.insert(load_idx, i);
-                    collected.push(i);
+                    let (_, _, load_idx) = scr.pending_loads.swap_remove(pos);
+                    scr.pairs.push((load_idx, i));
+                    scr.collected.push(i);
                     // Only the *value* source matters; the pair is
                     // move-eliminated so the address computation is
                     // dropped.
@@ -229,7 +290,7 @@ pub fn extract_chain(
                             search.insert(vr);
                         }
                     }
-                    if collected.len() > limits.max_chain_len * 3 {
+                    if scr.collected.len() > limits.max_chain_len * 3 {
                         return Err(ExtractOutcome::TooLong);
                     }
                 }
@@ -246,14 +307,14 @@ pub fn extract_chain(
                 return Err(ExtractOutcome::ForbiddenOp);
             }
         }
-        collected.push(i);
-        if collected.len() > limits.max_chain_len * 3 {
+        scr.collected.push(i);
+        if scr.collected.len() > limits.max_chain_len * 3 {
             return Err(ExtractOutcome::TooLong);
         }
         search = search.difference(r.dsts);
         search = search.union(r.srcs);
         if let Some((addr, width, false)) = r.mem {
-            pending_loads.push((addr, width.bytes(), i));
+            scr.pending_loads.push((addr, width.bytes(), i));
             // The load's address registers stay in the search set (they
             // are only dropped if the load pairs with a store, in which
             // case the chain never computes the address).
@@ -263,21 +324,19 @@ pub fn extract_chain(
     let tag = tag.ok_or(ExtractOutcome::NoTermination)?;
 
     // ------------------------------------------- rename and elimination
-    collected.sort_unstable();
-    let store_indices: BTreeSet<usize> = pairs.values().copied().collect();
-    // Stored-value binding captured at the store's program position.
-    let mut store_value: HashMap<usize, ChainSrcV> = HashMap::new();
+    scr.collected.sort_unstable();
+    scr.store_value.clear();
+    scr.ops_v.clear();
 
-    let mut rn = Renamer::new();
-    let mut ops_v: Vec<ChainOpV> = Vec::new();
+    let mut rn = Renamer::new(std::mem::take(&mut scr.live_ins));
     let mut eliminated = 0usize;
     let mut cmp_found = false;
 
-    for &i in &collected {
-        let r = recs[i];
-        if store_indices.contains(&i) {
+    for &i in &scr.collected {
+        let r = rec(i);
+        if scr.pairs.iter().any(|&(_, st)| st == i) {
             if let UopKind::Store { src, .. } = r.uop.kind {
-                store_value.insert(i, rn.read_operand(src));
+                scr.store_value.push((i, rn.read_operand(src)));
                 eliminated += 1;
             }
             continue;
@@ -294,11 +353,16 @@ pub fn extract_chain(
                 width,
                 signed,
             } => {
-                if let Some(&st) = pairs.get(&i) {
+                if let Some(st) = scr
+                    .pairs
+                    .iter()
+                    .find_map(|&(ld, st)| (ld == i).then_some(st))
+                {
                     // Store→load pair: logically a move (§4.3).
-                    let v = store_value
-                        .get(&st)
-                        .copied()
+                    let v = scr
+                        .store_value
+                        .iter()
+                        .find_map(|&(si, v)| (si == st).then_some(v))
                         .expect("store processed before its load");
                     rn.alias(dst, v);
                     eliminated += 1;
@@ -306,7 +370,7 @@ pub fn extract_chain(
                     let base = addr.base.map(|b| rn.read(b));
                     let index = addr.index.map(|x| rn.read(x));
                     let d = rn.write(dst);
-                    ops_v.push(ChainOpV::Load {
+                    scr.ops_v.push(ChainOpV::Load {
                         dst: d,
                         base,
                         index,
@@ -326,7 +390,7 @@ pub fn extract_chain(
                 let s1 = rn.read(src1);
                 let s2 = rn.read_operand(src2);
                 let d = rn.write(dst);
-                ops_v.push(ChainOpV::Alu {
+                scr.ops_v.push(ChainOpV::Alu {
                     op,
                     dst: d,
                     src1: s1,
@@ -336,14 +400,14 @@ pub fn extract_chain(
             UopKind::Cmp { src1, src2 } => {
                 let s1 = rn.read(src1);
                 let s2 = rn.read_operand(src2);
-                rn.written.insert(FLAGS);
-                ops_v.push(ChainOpV::Cmp { src1: s1, src2: s2 });
+                rn.written[FLAGS.index()] = true;
+                scr.ops_v.push(ChainOpV::Cmp { src1: s1, src2: s2 });
                 cmp_found = true;
             }
             // Calls write their link register; if that feeds the branch
             // (rare), treat the link value as a constant of the slice.
             UopKind::Call { link, .. } => {
-                rn.alias(link, ChainSrcV::Imm((recs[i].uop.pc + 1) as i64));
+                rn.alias(link, ChainSrcV::Imm((r.uop.pc + 1) as i64));
                 eliminated += 1;
             }
             UopKind::Store { .. }
@@ -355,35 +419,45 @@ pub fn extract_chain(
         }
     }
 
+    // Hand the live-in buffer back to the scratch before any early return
+    // so rejected extractions don't leak its capacity.
+    let num_virtuals = rn.next_virtual;
+    scr.live_ins = std::mem::take(&mut rn.live_ins);
+
     if !cmp_found {
         return Err(ExtractOutcome::NoCmp);
     }
-    if ops_v.len() > limits.max_chain_len {
+    if scr.ops_v.len() > limits.max_chain_len {
         return Err(ExtractOutcome::TooLong);
     }
 
     // Live-outs: every written (or aliased) register's final binding, plus
     // untouched live-ins pass through implicitly via the instance context.
-    let live_outs_v: Vec<(ArchReg, ChainSrcV)> = rn
-        .written
-        .iter()
-        .filter(|r| !r.is_flags())
-        .map(|r| {
-            let b = match rn.bind.get(r) {
-                Some(Binding::Local(l)) => ChainSrcV::Reg(*l),
-                Some(Binding::Imm(v)) => ChainSrcV::Imm(*v),
+    // Index order equals `ArchReg`'s `Ord`, so iteration is sorted.
+    scr.live_outs_v.clear();
+    for r in ArchReg::all() {
+        if rn.written[r.index()] && !r.is_flags() {
+            let b = match rn.bind[r.index()] {
+                Some(Binding::Local(l)) => ChainSrcV::Reg(l),
+                Some(Binding::Imm(v)) => ChainSrcV::Imm(v),
                 None => unreachable!("written reg must be bound"),
             };
-            (*r, b)
-        })
-        .collect();
+            scr.live_outs_v.push((r, b));
+        }
+    }
 
     // ------------------------------------ local register compaction
-    let (ops, live_ins, live_outs, num_locals) =
-        compact_locals(&ops_v, &rn.live_ins, &live_outs_v, limits.local_regs)
-            .ok_or(ExtractOutcome::TooManyRegs)?;
+    let (ops, live_ins, live_outs, num_locals) = compact_locals(
+        &scr.ops_v,
+        &scr.live_ins,
+        &scr.live_outs_v,
+        limits.local_regs,
+        num_virtuals,
+        &mut scr.compact,
+    )
+    .ok_or(ExtractOutcome::TooManyRegs)?;
 
-    let source_pcs: BTreeSet<Pc> = collected.iter().map(|&i| recs[i].uop.pc).collect();
+    let source_pcs: BTreeSet<Pc> = scr.collected.iter().map(|&i| rec(i).uop.pc).collect();
     Ok(DependenceChain {
         tag,
         branch_pc: target_pc,
@@ -398,6 +472,19 @@ pub fn extract_chain(
     })
 }
 
+/// Reusable buffers for [`compact_locals`], all direct-indexed by virtual
+/// local number.
+#[derive(Debug, Default)]
+struct CompactScratch {
+    /// Last read position per virtual (`0` = untouched, `END` = live-out).
+    last_use: Vec<usize>,
+    /// Virtual → physical local assignment.
+    mapping: Vec<Option<LocalReg>>,
+    free: Vec<LocalReg>,
+    /// Currently-live `(virtual, phys)` pairs.
+    in_use: Vec<(usize, LocalReg)>,
+}
+
 /// Lifetime-based compaction of virtual locals into the physical local
 /// register file (the paper's local rename "minimizes physical register
 /// footprint"). Returns `None` if more than `budget` registers are live
@@ -408,6 +495,8 @@ fn compact_locals(
     live_ins: &[(ArchReg, usize)],
     live_outs: &[(ArchReg, ChainSrcV)],
     budget: usize,
+    num_virtuals: usize,
+    scr: &mut CompactScratch,
 ) -> Option<(
     Vec<ChainOp>,
     Vec<(ArchReg, LocalReg)>,
@@ -415,29 +504,26 @@ fn compact_locals(
     usize,
 )> {
     const END: usize = usize::MAX;
-    let mut last_use: HashMap<usize, usize> = HashMap::new();
-    for (r, v) in live_ins {
-        let _ = r;
-        last_use.insert(*v, 0); // at least alive at start
-    }
-    let touch = |m: &mut HashMap<usize, usize>, s: &ChainSrcV, at: usize| {
+    scr.last_use.clear();
+    scr.last_use.resize(num_virtuals, 0);
+    let last_use = &mut scr.last_use;
+    let touch = |m: &mut [usize], s: &ChainSrcV, at: usize| {
         if let ChainSrcV::Reg(v) = s {
-            let e = m.entry(*v).or_insert(at);
-            *e = (*e).max(at);
+            m[*v] = m[*v].max(at);
         }
     };
     for (i, op) in ops.iter().enumerate() {
         match op {
             ChainOpV::Alu { src1, src2, .. } | ChainOpV::Cmp { src1, src2 } => {
-                touch(&mut last_use, src1, i);
-                touch(&mut last_use, src2, i);
+                touch(last_use, src1, i);
+                touch(last_use, src2, i);
             }
             ChainOpV::Load { base, index, .. } => {
                 if let Some(b) = base {
-                    touch(&mut last_use, b, i);
+                    touch(last_use, b, i);
                 }
                 if let Some(x) = index {
-                    touch(&mut last_use, x, i);
+                    touch(last_use, x, i);
                 }
             }
         }
@@ -445,36 +531,42 @@ fn compact_locals(
     // Live-outs are read by successor chains: alive to the end.
     for (_, b) in live_outs {
         if let ChainSrcV::Reg(v) = b {
-            last_use.insert(*v, END);
+            last_use[*v] = END;
         }
     }
+    let last_use = &scr.last_use;
 
-    let mut mapping: HashMap<usize, LocalReg> = HashMap::new();
-    let mut free: Vec<LocalReg> = (0..budget as u8).rev().collect();
-    let mut in_use: Vec<(usize, LocalReg)> = Vec::new(); // (virtual, phys)
+    scr.mapping.clear();
+    scr.mapping.resize(num_virtuals, None);
+    let mapping = &mut scr.mapping;
+    scr.free.clear();
+    scr.free.extend((0..budget as u8).rev());
+    let free = &mut scr.free;
+    scr.in_use.clear();
+    let in_use = &mut scr.in_use; // (virtual, phys)
 
     let alloc = |v: usize,
-                 mapping: &mut HashMap<usize, LocalReg>,
+                 mapping: &mut Vec<Option<LocalReg>>,
                  free: &mut Vec<LocalReg>,
                  in_use: &mut Vec<(usize, LocalReg)>|
      -> Option<LocalReg> {
         let p = free.pop()?;
-        mapping.insert(v, p);
+        mapping[v] = Some(p);
         in_use.push((v, p));
         Some(p)
     };
 
     // Live-ins allocated up front (the core writes them at sync).
     for (_, v) in live_ins {
-        alloc(*v, &mut mapping, &mut free, &mut in_use)?;
+        alloc(*v, mapping, free, in_use)?;
     }
 
     let release_dead = |at: usize,
                         free: &mut Vec<LocalReg>,
                         in_use: &mut Vec<(usize, LocalReg)>,
-                        last_use: &HashMap<usize, usize>| {
+                        last_use: &[usize]| {
         in_use.retain(|(v, p)| {
-            let lu = last_use.get(v).copied().unwrap_or(0);
+            let lu = last_use[*v];
             if lu != END && lu < at {
                 free.push(*p);
                 false
@@ -484,9 +576,9 @@ fn compact_locals(
         });
     };
 
-    let map_src = |s: &ChainSrcV, mapping: &HashMap<usize, LocalReg>| -> ChainSrc {
+    let map_src = |s: &ChainSrcV, mapping: &[Option<LocalReg>]| -> ChainSrc {
         match s {
-            ChainSrcV::Reg(v) => ChainSrc::Reg(mapping[v]),
+            ChainSrcV::Reg(v) => ChainSrc::Reg(mapping[*v].expect("read of unmapped virtual")),
             ChainSrcV::Imm(i) => ChainSrc::Imm(*i),
         }
     };
@@ -494,7 +586,7 @@ fn compact_locals(
     let mut out = Vec::with_capacity(ops.len());
     for (i, op) in ops.iter().enumerate() {
         // Sources are read at i; anything last used before i is dead.
-        release_dead(i, &mut free, &mut in_use, &last_use);
+        release_dead(i, free, in_use, last_use);
         let mapped = match op {
             ChainOpV::Alu {
                 op,
@@ -502,12 +594,12 @@ fn compact_locals(
                 src1,
                 src2,
             } => {
-                let s1 = map_src(src1, &mapping);
-                let s2 = map_src(src2, &mapping);
+                let s1 = map_src(src1, mapping);
+                let s2 = map_src(src2, mapping);
                 // Sources whose last use is exactly i can donate their
                 // register to the destination.
-                release_dead(i + 1, &mut free, &mut in_use, &last_use);
-                let d = alloc(*dst, &mut mapping, &mut free, &mut in_use)?;
+                release_dead(i + 1, free, in_use, last_use);
+                let d = alloc(*dst, mapping, free, in_use)?;
                 ChainOp::Alu {
                     op: *op,
                     dst: d,
@@ -524,10 +616,10 @@ fn compact_locals(
                 width,
                 signed,
             } => {
-                let b = base.as_ref().map(|s| map_src(s, &mapping));
-                let x = index.as_ref().map(|s| map_src(s, &mapping));
-                release_dead(i + 1, &mut free, &mut in_use, &last_use);
-                let d = alloc(*dst, &mut mapping, &mut free, &mut in_use)?;
+                let b = base.as_ref().map(|s| map_src(s, mapping));
+                let x = index.as_ref().map(|s| map_src(s, mapping));
+                release_dead(i + 1, free, in_use, last_use);
+                let d = alloc(*dst, mapping, free, in_use)?;
                 ChainOp::Load {
                     dst: d,
                     base: b,
@@ -539,18 +631,20 @@ fn compact_locals(
                 }
             }
             ChainOpV::Cmp { src1, src2 } => ChainOp::Cmp {
-                src1: map_src(src1, &mapping),
-                src2: map_src(src2, &mapping),
+                src1: map_src(src1, mapping),
+                src2: map_src(src2, mapping),
             },
         };
         out.push(mapped);
     }
 
-    let live_ins_m: Vec<(ArchReg, LocalReg)> =
-        live_ins.iter().map(|(r, v)| (*r, mapping[v])).collect();
+    let live_ins_m: Vec<(ArchReg, LocalReg)> = live_ins
+        .iter()
+        .map(|(r, v)| (*r, mapping[*v].expect("live-in allocated up front")))
+        .collect();
     let live_outs_m: Vec<(ArchReg, ChainSrc)> = live_outs
         .iter()
-        .map(|(r, b)| (*r, map_src(b, &mapping)))
+        .map(|(r, b)| (*r, map_src(b, mapping)))
         .collect();
     let num_locals = budget - free.len();
     Some((out, live_ins_m, live_outs_m, num_locals))

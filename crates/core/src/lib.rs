@@ -92,7 +92,9 @@ pub use chain::{ChainOp, ChainSrc, ChainTag, DependenceChain, LocalReg};
 pub use chain_cache::DependenceChainCache;
 pub use config::{BranchRunaheadConfig, InitiationMode};
 pub use dce::DependenceChainEngine;
-pub use extract::{extract_chain, ExtractLimits, ExtractOutcome};
+pub use extract::{
+    extract_chain, extract_chain_with, ExtractLimits, ExtractOutcome, ExtractScratch,
+};
 pub use hbt::{HardBranchTable, HbtEntry};
 pub use pqueue::{FetchVerdict, PredictionQueues};
 pub use runahead::{BrLiveState, BranchRunahead};

@@ -7,7 +7,7 @@
 //! ids), core-fetch, and core-retire (the deque front) — plus a 2-bit
 //! throttle counter that silences the DCE when TAGE is doing better.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use br_isa::Pc;
 
@@ -89,7 +89,10 @@ pub type QueueCheckpoint = Vec<(Pc, u64)>;
 pub struct PredictionQueues {
     num_queues: usize,
     entries_per_queue: usize,
-    queues: HashMap<Pc, PredQueue>,
+    /// Linear-scanned association list: the queue count is the paper's
+    /// small hardware budget (16 in the Mini config), so a scan beats
+    /// hashing and keeps iteration order deterministic.
+    queues: Vec<(Pc, PredQueue)>,
     tick: u64,
     /// Pending fault-injection drops: while nonzero, the next `fill`
     /// calls are swallowed (the slot stays `Empty`, so fetch sees a
@@ -109,7 +112,7 @@ impl PredictionQueues {
         PredictionQueues {
             num_queues,
             entries_per_queue,
-            queues: HashMap::new(),
+            queues: Vec::with_capacity(num_queues),
             tick: 0,
             drop_fills: 0,
         }
@@ -118,16 +121,29 @@ impl PredictionQueues {
     fn queue_mut(&mut self, pc: Pc, create: bool) -> Option<&mut PredQueue> {
         self.tick += 1;
         let tick = self.tick;
-        if create && !self.queues.contains_key(&pc) {
-            if self.queues.len() >= self.num_queues {
-                // Evict the LRU queue (a different branch loses tracking).
-                if let Some((&victim, _)) = self.queues.iter().min_by_key(|(_, q)| q.lru) {
-                    self.queues.remove(&victim);
+        let pos = match self.queues.iter().position(|(p, _)| *p == pc) {
+            Some(i) => i,
+            None if create => {
+                if self.queues.len() >= self.num_queues {
+                    // Evict the LRU queue (a different branch loses
+                    // tracking). LRU stamps are unique (each touch gets a
+                    // fresh tick), so the victim is unambiguous.
+                    if let Some(victim) = self
+                        .queues
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, q))| q.lru)
+                        .map(|(i, _)| i)
+                    {
+                        self.queues.swap_remove(victim);
+                    }
                 }
+                self.queues.push((pc, PredQueue::new()));
+                self.queues.len() - 1
             }
-            self.queues.insert(pc, PredQueue::new());
-        }
-        let q = self.queues.get_mut(&pc)?;
+            None => return None,
+        };
+        let q = &mut self.queues[pos].1;
         q.lru = tick;
         Some(q)
     }
@@ -243,7 +259,17 @@ impl PredictionQueues {
     /// branch; restored on recovery).
     #[must_use]
     pub fn checkpoint(&self) -> QueueCheckpoint {
-        self.queues.iter().map(|(pc, q)| (*pc, q.fetch)).collect()
+        let mut cp = QueueCheckpoint::new();
+        self.checkpoint_into(&mut cp);
+        cp
+    }
+
+    /// Allocation-free [`PredictionQueues::checkpoint`]: clears `cp` and
+    /// fills it (the fetch path recycles checkpoint buffers through a
+    /// pool).
+    pub fn checkpoint_into(&self, cp: &mut QueueCheckpoint) {
+        cp.clear();
+        cp.extend(self.queues.iter().map(|(pc, q)| (*pc, q.fetch)));
     }
 
     /// Restores fetch pointers from a checkpoint. Pointers are clamped to
@@ -251,7 +277,11 @@ impl PredictionQueues {
     /// retired).
     pub fn restore(&mut self, cp: &QueueCheckpoint) {
         for (pc, fetch) in cp {
-            if let Some(q) = self.queues.get_mut(pc) {
+            if let Some(q) = self
+                .queues
+                .iter_mut()
+                .find_map(|(p, q)| (p == pc).then_some(q))
+            {
                 q.fetch = (*fetch).max(q.base);
             }
         }
@@ -301,7 +331,7 @@ impl PredictionQueues {
     /// Clears every queue (synchronization event). Bases advance past all
     /// existing slots so stale fills/retires become no-ops.
     pub fn clear_all(&mut self) {
-        for q in self.queues.values_mut() {
+        for (_, q) in &mut self.queues {
             q.base += q.slots.len() as u64;
             q.slots.clear();
             q.fetch = q.base;
@@ -311,7 +341,7 @@ impl PredictionQueues {
     /// Whether the queue for `pc` currently throttles the DCE.
     #[must_use]
     pub fn is_throttled(&self, pc: Pc) -> bool {
-        self.queues.get(&pc).is_some_and(|q| q.throttle < 0)
+        self.queues.iter().any(|(p, q)| *p == pc && q.throttle < 0)
     }
 
     /// Number of live queues.
@@ -324,7 +354,7 @@ impl PredictionQueues {
     /// the prediction-queue depth telemetry samples.
     #[must_use]
     pub fn occupied_slots(&self) -> usize {
-        self.queues.values().map(|q| q.slots.len()).sum()
+        self.queues.iter().map(|(_, q)| q.slots.len()).sum()
     }
 
     /// Whether no queues exist.
@@ -346,9 +376,9 @@ impl PredictionQueues {
     #[doc(hidden)]
     pub fn sabotage_fetch_pointer(&mut self) {
         if self.queues.is_empty() {
-            self.queues.insert(u64::MAX, PredQueue::new());
+            self.queues.push((u64::MAX, PredQueue::new()));
         }
-        if let Some(q) = self.queues.values_mut().next() {
+        if let Some((_, q)) = self.queues.first_mut() {
             q.fetch = q.base + q.slots.len() as u64 + 1;
         }
     }

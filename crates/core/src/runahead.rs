@@ -6,8 +6,6 @@
 //! predictor at fetch, and the DCE runs asynchronously, synchronized by
 //! mispredictions.
 
-use std::collections::HashMap;
-
 use br_isa::{CpuState, Machine, Pc};
 use br_mem::{MemResp, MemorySystem};
 use br_ooo::{
@@ -20,7 +18,7 @@ use crate::ceb::{CebRecord, ChainExtractionBuffer};
 use crate::chain_cache::DependenceChainCache;
 use crate::config::BranchRunaheadConfig;
 use crate::dce::DependenceChainEngine;
-use crate::extract::{extract_chain, ExtractLimits};
+use crate::extract::{extract_chain_with, ExtractLimits, ExtractScratch};
 use crate::hbt::HardBranchTable;
 use crate::pqueue::{FetchVerdict, PredictionQueues, QueueCheckpoint};
 use crate::stats::{BrStats, PredictionCategory};
@@ -124,9 +122,21 @@ pub struct BranchRunahead {
     stats: BrStats,
 
     pending_consumption: Option<Consumption>,
-    consumptions: HashMap<u64, Consumption>,
-    checkpoints: HashMap<u64, QueueCheckpoint>,
-    validations: HashMap<Pc, MergeValidation>,
+    /// In-flight bookkeeping keyed by fetch sequence number. Every squash
+    /// funnels through [`CoreHooks::on_mispredict`] before sequence
+    /// numbers are recycled, so the live key sets stay strictly
+    /// increasing — sorted Vecs with binary search replace hash maps on
+    /// the per-fetched-branch path.
+    consumptions: Vec<(u64, Consumption)>,
+    checkpoints: Vec<(u64, QueueCheckpoint)>,
+    /// Recycled checkpoint buffers: `on_branch_fetch` runs once per
+    /// fetched branch, so pooling removes a per-branch allocation.
+    checkpoint_pool: Vec<QueueCheckpoint>,
+    validations: Vec<(Pc, MergeValidation)>,
+    /// Scratch for [`BranchRunahead::feed_merge_validator`].
+    finished_scans: Vec<(Pc, bool, bool, bool)>,
+    /// Reusable extraction buffers.
+    extract_scratch: ExtractScratch,
 
     tele: Telemetry,
     tids: BrTeleIds,
@@ -160,9 +170,12 @@ impl BranchRunahead {
             dce: DependenceChainEngine::new(cfg),
             stats: BrStats::default(),
             pending_consumption: None,
-            consumptions: HashMap::new(),
-            checkpoints: HashMap::new(),
-            validations: HashMap::new(),
+            consumptions: Vec::new(),
+            checkpoints: Vec::new(),
+            checkpoint_pool: Vec::new(),
+            validations: Vec::new(),
+            finished_scans: Vec::new(),
+            extract_scratch: ExtractScratch::default(),
             tele: Telemetry::off(),
             tids: BrTeleIds::default(),
             last_hbt_churn: (0, 0),
@@ -343,7 +356,7 @@ impl BranchRunahead {
             max_chain_len: self.cfg.max_chain_len,
             local_regs: self.cfg.local_regs,
         };
-        match extract_chain(&self.ceb, pc, &ag, &limits) {
+        match extract_chain_with(&mut self.extract_scratch, &self.ceb, pc, &ag, &limits) {
             Ok(chain) => {
                 self.stats.chains_extracted += 1;
                 self.stats.chain_len_sum += chain.len() as u64;
@@ -369,7 +382,8 @@ impl BranchRunahead {
 
     fn feed_merge_validator(&mut self, u: &RetiredUop) {
         // Advance active scans.
-        let mut finished: Vec<(Pc, bool, bool, bool)> = Vec::new();
+        let mut finished = std::mem::take(&mut self.finished_scans);
+        finished.clear();
         for (bpc, v) in &mut self.validations {
             if let Some((dir, remaining, found, found_static)) = &mut v.tracking {
                 *found |= u.uop.pc == v.merge_pc;
@@ -386,8 +400,9 @@ impl BranchRunahead {
                 }
             }
         }
-        for (bpc, dir, found, found_static) in finished {
-            if let Some(v) = self.validations.get_mut(&bpc) {
+        for &(bpc, dir, found, found_static) in &finished {
+            if let Some(i) = self.validations.iter().position(|(p, _)| *p == bpc) {
+                let v = &mut self.validations[i].1;
                 v.seen[usize::from(dir)] = Some((found, found_static));
                 if let [Some((nt, snt)), Some((t, st))] = v.seen {
                     self.stats.merge_validated += 1;
@@ -398,16 +413,21 @@ impl BranchRunahead {
                     if snt && st {
                         self.stats.static_merge_correct += 1;
                     }
-                    self.validations.remove(&bpc);
+                    self.validations.remove(i);
                 }
             }
         }
+        self.finished_scans = finished;
         // Start a scan when a validated branch retires in an unseen
         // direction.
         if u.uop.is_cond_branch() {
             if let Some(b) = u.rec.branch {
                 let dir = b.actual_taken;
-                if let Some(v) = self.validations.get_mut(&u.uop.pc) {
+                if let Some(v) = self
+                    .validations
+                    .iter_mut()
+                    .find_map(|(p, v)| (*p == u.uop.pc).then_some(v))
+                {
                     // The static prior-work heuristic: merge = taken target.
                     if v.static_pc.is_none() {
                         v.static_pc = Some(b.target);
@@ -440,9 +460,13 @@ impl CoreHooks for BranchRunahead {
     fn on_branch_fetch(&mut self, b: &FetchedBranch) {
         if let Some(c) = self.pending_consumption.take() {
             debug_assert_eq!(c.pc, b.pc, "consumption/fetch pairing broke");
-            self.consumptions.insert(b.seq, c);
+            debug_assert!(self.consumptions.last().is_none_or(|(s, _)| *s < b.seq));
+            self.consumptions.push((b.seq, c));
         }
-        self.checkpoints.insert(b.seq, self.queues.checkpoint());
+        let mut cp = self.checkpoint_pool.pop().unwrap_or_default();
+        self.queues.checkpoint_into(&mut cp);
+        debug_assert!(self.checkpoints.last().is_none_or(|(s, _)| *s < b.seq));
+        self.checkpoints.push((b.seq, cp));
     }
 
     fn on_mispredict(
@@ -452,13 +476,15 @@ impl CoreHooks for BranchRunahead {
         cpu: &CpuState,
     ) {
         // Rewind prediction-queue fetch pointers to this branch.
-        if let Some(cp) = self.checkpoints.get(&info.seq) {
-            let cp = cp.clone();
-            self.queues.restore(&cp);
+        if let Ok(i) = self.checkpoints.binary_search_by_key(&info.seq, |e| e.0) {
+            self.queues.restore(&self.checkpoints[i].1);
         }
-        // Squash bookkeeping for younger branches.
-        self.consumptions.retain(|seq, _| *seq <= info.seq);
-        self.checkpoints.retain(|seq, _| *seq <= info.seq);
+        // Squash bookkeeping for younger branches (keys sorted: truncate).
+        let keep = self.consumptions.partition_point(|e| e.0 <= info.seq);
+        self.consumptions.truncate(keep);
+        let keep = self.checkpoints.partition_point(|e| e.0 <= info.seq);
+        self.checkpoint_pool
+            .extend(self.checkpoints.drain(keep..).map(|(_, cp)| cp));
 
         // Merge-point prediction: capture the wrong path. Only
         // conditional branches have merge points / guard semantics;
@@ -537,7 +563,9 @@ impl CoreHooks for BranchRunahead {
         // must rewind the queues) but no branch-retire callback; clean
         // their checkpoints here.
         if u.uop.is_indirect() {
-            self.checkpoints.remove(&u.seq);
+            if let Ok(i) = self.checkpoints.binary_search_by_key(&u.seq, |e| e.0) {
+                self.checkpoint_pool.push(self.checkpoints.remove(i).1);
+            }
         }
         self.ceb.push(CebRecord::from_retired(u));
 
@@ -557,15 +585,18 @@ impl CoreHooks for BranchRunahead {
             // Begin affector detection from the merge point.
             self.poison = Some(PoisonDetector::new(&ev, self.cfg.max_merge_distance));
             // Register for diagnostic validation (bounded).
-            if self.validations.len() < 64 {
-                self.validations
-                    .entry(ev.branch_pc)
-                    .or_insert(MergeValidation {
+            if self.validations.len() < 64
+                && !self.validations.iter().any(|(p, _)| *p == ev.branch_pc)
+            {
+                self.validations.push((
+                    ev.branch_pc,
+                    MergeValidation {
                         merge_pc: ev.merge_pc,
                         static_pc: None,
                         seen: [None, None],
                         tracking: None,
-                    });
+                    },
+                ));
             }
         }
 
@@ -587,12 +618,19 @@ impl CoreHooks for BranchRunahead {
     }
 
     fn on_branch_retire(&mut self, b: &BranchOutcome) {
-        self.checkpoints.remove(&b.seq);
+        if let Ok(i) = self.checkpoints.binary_search_by_key(&b.seq, |e| e.0) {
+            self.checkpoint_pool.push(self.checkpoints.remove(i).1);
+        }
         self.dce.train_init_counter(b.pc, b.taken);
 
         // Prediction-queue retirement + Figure 12 accounting.
         let covered = self.cache.covers_branch(b.pc);
-        if let Some(c) = self.consumptions.remove(&b.seq) {
+        let consumed = self
+            .consumptions
+            .binary_search_by_key(&b.seq, |e| e.0)
+            .ok()
+            .map(|i| self.consumptions.remove(i).1);
+        if let Some(c) = consumed {
             let tage_correct = b.base_prediction == b.taken;
             match c.kind {
                 Consumed::Used { slot, value } => {

@@ -11,8 +11,8 @@
 use std::collections::BTreeSet;
 
 use br_core::{
-    extract_chain, CebRecord, ChainExtractionBuffer, ChainOp, ChainSrc, DependenceChain,
-    ExtractLimits,
+    extract_chain, extract_chain_with, CebRecord, ChainExtractionBuffer, ChainOp, ChainSrc,
+    DependenceChain, ExtractLimits, ExtractScratch,
 };
 use br_isa::{
     reg, ArchReg, Cond, Flags, JournaledMemory, Machine, MemOperand, MemoryImage, Program,
@@ -307,6 +307,74 @@ fn deterministic_case_extracts_and_predicts() {
     assert!(
         actual.iter().any(|t| *t) && actual.iter().any(|t| !*t),
         "branch is degenerate: {actual:?}"
+    );
+}
+
+/// Scratch reuse is observationally invisible: running extractions
+/// through one long-lived [`ExtractScratch`] — including attempts that
+/// *reject* partway through and leave the buffers mid-state — must
+/// produce exactly the chains a fresh-buffer [`extract_chain`] produces.
+/// This is the contract the engine relies on when it reuses one scratch
+/// across every extraction attempt of a run.
+#[test]
+fn scratch_reuse_matches_fresh_buffers() {
+    let mut scratch = ExtractScratch::default();
+    let mut compared = 0;
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0xabad_cafe ^ (case << 24) ^ case);
+        let n_ops = 1 + rng.below(7) as usize;
+        let ops: Vec<BodyOp> = (0..n_ops).map(|_| body_op(&mut rng)).collect();
+        let (program, branch_pc) = build_loop(&ops, rng.next() as u8, rng.next() as i8, 40);
+
+        let mut m = Machine::new(table_image().into_memory());
+        let mut ceb = ChainExtractionBuffer::new(512);
+        while !m.halted() && m.steps() < 2_000 {
+            let rec = m.step(&program, None).expect("loop runs");
+            let uop = *program.fetch(rec.pc).expect("fetched");
+            ceb.push(CebRecord::from_retired(&br_ooo::RetiredUop {
+                seq: m.steps(),
+                uop,
+                rec,
+                cycle: m.steps(),
+            }));
+        }
+
+        let limits = ExtractLimits {
+            max_chain_len: 32,
+            local_regs: 24,
+        };
+        let ag = BTreeSet::new();
+        // Interleave rejecting attempts between two real extractions:
+        // a missing target aborts at the walk's first stage, and a
+        // one-uop cap aborts mid-walk, both leaving the scratch dirty.
+        let tight = ExtractLimits {
+            max_chain_len: 1,
+            local_regs: 24,
+        };
+        let first = extract_chain_with(&mut scratch, &ceb, branch_pc, &ag, &limits);
+        assert!(
+            extract_chain_with(&mut scratch, &ceb, 0xdead_0000, &ag, &limits).is_err(),
+            "absent target must reject"
+        );
+        let mid = extract_chain_with(&mut scratch, &ceb, branch_pc, &ag, &tight);
+        let second = extract_chain_with(&mut scratch, &ceb, branch_pc, &ag, &limits);
+
+        let reference = extract_chain(&ceb, branch_pc, &ag, &limits);
+        assert_eq!(first, reference, "case {case}: first reuse diverged");
+        assert_eq!(second, reference, "case {case}: post-reject reuse diverged");
+        if let Ok(c) = &reference {
+            // The tight-cap interleave must reject whenever the real
+            // chain is longer than one uop (it always is: cmp + branch
+            // feeders), or match the reference otherwise.
+            if c.ops.len() > 1 {
+                assert_eq!(mid, Err(br_core::ExtractOutcome::TooLong), "case {case}");
+            }
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= 12,
+        "too few successful extractions to exercise reuse: {compared}/24"
     );
 }
 

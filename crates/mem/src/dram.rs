@@ -142,6 +142,15 @@ impl Dram {
     /// Advances the controller one cycle; returns reads whose data is now
     /// available.
     pub fn tick(&mut self, now: u64) -> Vec<DramResp> {
+        let mut done = Vec::new();
+        self.tick_into(now, &mut done);
+        done
+    }
+
+    /// [`Self::tick`] into an existing buffer (cleared first), so the
+    /// per-cycle caller never allocates.
+    pub fn tick_into(&mut self, now: u64, done: &mut Vec<DramResp>) {
+        done.clear();
         // Schedule: FR-FCFS — among requests whose bank is free, prefer
         // open-row hits, then oldest arrival.
         loop {
@@ -196,7 +205,6 @@ impl Dram {
             }
         }
 
-        let mut done = Vec::new();
         self.in_service.retain(|&(finish, id, _)| {
             if finish <= now {
                 done.push(DramResp { id, finished: now });
@@ -205,7 +213,6 @@ impl Dram {
                 true
             }
         });
-        done
     }
 
     /// Row-buffer statistics.

@@ -1,7 +1,5 @@
 //! Miss Status Holding Registers: outstanding-miss tracking and merging.
 
-use std::collections::HashMap;
-
 /// Result of trying to record a miss in the MSHR file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -16,11 +14,15 @@ pub enum MshrOutcome {
 }
 
 /// A fixed-capacity MSHR file keyed by line address. Each entry carries the
-/// opaque request ids merged onto it.
+/// opaque request ids merged onto it. The file holds at most a handful of
+/// entries (the hardware MSHR count), so lookups are linear scans and the
+/// per-entry id buffers are recycled through a small pool instead of being
+/// reallocated per miss.
 #[derive(Clone, Debug)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<u64, Vec<u64>>,
+    entries: Vec<(u64, Vec<u64>)>,
+    pool: Vec<Vec<u64>>,
 }
 
 impl MshrFile {
@@ -34,33 +36,50 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
         MshrFile {
             capacity,
-            entries: HashMap::new(),
+            entries: Vec::with_capacity(capacity),
+            pool: Vec::with_capacity(capacity),
         }
     }
 
     /// Records a miss on `line` for request `id`.
     pub fn allocate(&mut self, line: u64, id: u64) -> MshrOutcome {
-        if let Some(ids) = self.entries.get_mut(&line) {
+        if let Some((_, ids)) = self.entries.iter_mut().find(|(l, _)| *l == line) {
             ids.push(id);
             return MshrOutcome::Merged;
         }
         if self.entries.len() >= self.capacity {
             return MshrOutcome::Full;
         }
-        self.entries.insert(line, vec![id]);
+        let mut ids = self.pool.pop().unwrap_or_default();
+        ids.clear();
+        ids.push(id);
+        self.entries.push((line, ids));
         MshrOutcome::Allocated
     }
 
     /// Completes the miss on `line`, returning every merged request id.
     /// Returns an empty vector if no entry exists (e.g. a prefetch fill).
     pub fn complete(&mut self, line: u64) -> Vec<u64> {
-        self.entries.remove(&line).unwrap_or_default()
+        let mut out = Vec::new();
+        self.complete_into(line, &mut out);
+        out
+    }
+
+    /// [`Self::complete`] into an existing buffer (cleared first), keeping
+    /// the entry's id buffer for reuse.
+    pub fn complete_into(&mut self, line: u64, out: &mut Vec<u64>) {
+        out.clear();
+        if let Some(p) = self.entries.iter().position(|(l, _)| *l == line) {
+            let (_, ids) = self.entries.swap_remove(p);
+            out.extend_from_slice(&ids);
+            self.pool.push(ids);
+        }
     }
 
     /// Whether `line` has an outstanding miss.
     #[must_use]
     pub fn pending(&self, line: u64) -> bool {
-        self.entries.contains_key(&line)
+        self.entries.iter().any(|(l, _)| *l == line)
     }
 
     /// Number of occupied entries.

@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
-use crate::dram::{Dram, DramConfig, DramStats};
+use crate::dram::{Dram, DramConfig, DramResp, DramStats};
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::{StreamPrefetcher, StreamPrefetcherConfig};
 use crate::tlb::{Tlb, TlbConfig, TlbStats};
@@ -144,6 +144,10 @@ pub struct MemorySystem {
     dram_backlog: Vec<(DramPurpose, bool)>,
     /// Writebacks waiting for DRAM queue space.
     writeback_backlog: Vec<u64>,
+    /// Scratch for [`Dram::tick_into`] (reused every cycle).
+    dram_done: Vec<DramResp>,
+    /// Scratch for [`MshrFile::complete_into`] (reused per fill).
+    mshr_ids: Vec<u64>,
     next_id: u64,
     seq: u64,
     stats: MemoryStats,
@@ -188,6 +192,8 @@ impl MemorySystem {
             dram_reqs: Vec::new(),
             dram_backlog: Vec::new(),
             writeback_backlog: Vec::new(),
+            dram_done: Vec::new(),
+            mshr_ids: Vec::new(),
             next_id: 0,
             seq: 0,
             stats: MemoryStats::default(),
@@ -303,9 +309,12 @@ impl MemorySystem {
                 self.writeback_l2(victim, now);
             }
             let respond_at = now + (self.cfg.l2_hit_latency - self.cfg.l1_hit_latency);
-            for id in self.mshr.complete(line_addr) {
+            let mut ids = std::mem::take(&mut self.mshr_ids);
+            self.mshr.complete_into(line_addr, &mut ids);
+            for &id in &ids {
                 self.schedule(respond_at, Pending::Respond { id });
             }
+            self.mshr_ids = ids;
         } else {
             self.enqueue_dram(
                 DramPurpose::DemandFill {
@@ -352,9 +361,12 @@ impl MemorySystem {
                 if let Some(victim) = self.l1.fill(line_addr, write_allocate).writeback {
                     self.writeback_l2(victim, now);
                 }
-                for rid in self.mshr.complete(line_addr) {
+                let mut ids = std::mem::take(&mut self.mshr_ids);
+                self.mshr.complete_into(line_addr, &mut ids);
+                for &rid in &ids {
                     self.schedule(now, Pending::Respond { id: rid });
                 }
+                self.mshr_ids = ids;
             }
             DramPurpose::PrefetchFill { line_addr } => {
                 if let Some(wb) = self.l2.fill(line_addr, false).writeback {
@@ -368,6 +380,15 @@ impl MemorySystem {
 
     /// Advances one cycle; returns every request completing at `now`.
     pub fn tick(&mut self, now: u64) -> Vec<MemResp> {
+        let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::tick`] into an existing buffer (cleared first), so the
+    /// per-cycle caller never allocates.
+    pub fn tick_into(&mut self, now: u64, out: &mut Vec<MemResp>) {
+        out.clear();
         // Retry back-logged DRAM traffic.
         let backlog = std::mem::take(&mut self.dram_backlog);
         for (purpose, is_write) in backlog {
@@ -380,11 +401,13 @@ impl MemorySystem {
             }
         }
 
-        for resp in self.dram.tick(now) {
+        let mut done = std::mem::take(&mut self.dram_done);
+        self.dram.tick_into(now, &mut done);
+        for resp in &done {
             self.handle_dram_fill(resp.id, now);
         }
+        self.dram_done = done;
 
-        let mut out = Vec::new();
         while let Some(Reverse((cycle, _, _))) = self.events.peek() {
             if *cycle > now {
                 break;
@@ -398,7 +421,6 @@ impl MemorySystem {
                 Pending::Respond { id } => out.push(MemResp { id, finished: now }),
             }
         }
-        out
     }
 
     /// Whether `addr` currently hits in the L1 (no side effects). The core

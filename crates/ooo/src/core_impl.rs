@@ -1,7 +1,7 @@
 //! The cycle-level out-of-order core.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use br_isa::{ExecRecord, Force, Machine, MachineCheckpoint, Program, Uop, UopKind, NUM_ARCH_REGS};
@@ -43,6 +43,26 @@ struct BranchCtl {
     mispredicted: bool,
 }
 
+/// Inline producer-seq list. A uop reads at most three registers (a
+/// store's base + index + value), so four slots always suffice and the
+/// list never touches the heap.
+#[derive(Clone, Copy, Debug, Default)]
+struct Deps {
+    seqs: [u64; 4],
+    len: u8,
+}
+
+impl Deps {
+    fn push(&mut self, seq: u64) {
+        self.seqs[self.len as usize] = seq;
+        self.len += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.seqs[..self.len as usize].iter().copied()
+    }
+}
+
 struct RobEntry {
     /// ROB position identity: contiguous within the ROB. Reused after
     /// squashes (`next_seq` rewinds on recovery).
@@ -55,7 +75,7 @@ struct RobEntry {
     fetch_cycle: u64,
     state: ExecState,
     completed_at: u64,
-    deps: Vec<u64>,
+    deps: Deps,
     in_rs: bool,
     branch: Option<Box<BranchCtl>>,
 }
@@ -131,8 +151,19 @@ pub struct Core {
     next_uid: u64,
     cycle: u64,
     fetch_stall_until: u64,
-    pending_mem: HashMap<ReqId, (u64, u64)>,
+    /// In-flight core loads, keyed by memory-request id. Bounded by the
+    /// MSHR count, so a linear-scan list beats hashing.
+    pending_mem: Vec<(ReqId, u64, u64)>,
     completions: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    /// Scratch for `recover`'s wrong-path summary (reused across squashes).
+    wrong_path_scratch: Vec<WrongPathUop>,
+    /// Recycled branch-control boxes: checkpoint buffers (predictor
+    /// history, RAS) are reused instead of reallocated per fetched branch.
+    /// The boxes are deliberate — ROB entries store `Option<Box<BranchCtl>>`
+    /// to stay small, and pooling the box itself is what avoids the
+    /// per-branch heap round trip.
+    #[allow(clippy::vec_box)]
+    ctl_pool: Vec<Box<BranchCtl>>,
     icache: Option<Cache>,
     ras: ReturnAddressStack,
     btb: Btb,
@@ -192,8 +223,10 @@ impl Core {
             next_uid: 0,
             cycle: 0,
             fetch_stall_until: 0,
-            pending_mem: HashMap::new(),
+            pending_mem: Vec::new(),
             completions: BinaryHeap::new(),
+            wrong_path_scratch: Vec::new(),
+            ctl_pool: Vec::new(),
             stats: CoreStats::default(),
             max_retired: u64::MAX,
             tele: Telemetry::off(),
@@ -301,7 +334,8 @@ impl Core {
     fn complete_phase(&mut self, responses: &[MemResp], now: u64, hooks: &mut dyn CoreHooks) {
         // Memory completions.
         for r in responses {
-            if let Some((seq, uid)) = self.pending_mem.remove(&r.id) {
+            if let Some(p) = self.pending_mem.iter().position(|&(id, _, _)| id == r.id) {
+                let (_, seq, uid) = self.pending_mem.swap_remove(p);
                 if let Some(i) = self.idx_of(seq) {
                     let e = &mut self.rob[i];
                     if e.uid == uid && e.state == ExecState::MemPending(r.id) {
@@ -344,24 +378,31 @@ impl Core {
 
     fn recover(&mut self, idx: usize, now: u64, hooks: &mut dyn CoreHooks) {
         self.stats.recoveries += 1;
-        let wrong_path: Vec<WrongPathUop> = self
-            .rob
-            .iter()
-            .skip(idx + 1)
-            .map(RobEntry::wrong_path_summary)
-            .collect();
+        let mut wrong_path = std::mem::take(&mut self.wrong_path_scratch);
+        wrong_path.clear();
+        wrong_path.extend(
+            self.rob
+                .iter()
+                .skip(idx + 1)
+                .map(RobEntry::wrong_path_summary),
+        );
         self.stats.squashed_uops += wrong_path.len() as u64;
 
-        // Release resources held by squashed entries.
-        for e in self.rob.iter().skip(idx + 1) {
+        // Release resources held by squashed entries and recycle their
+        // branch-control boxes.
+        for mut e in self.rob.drain(idx + 1..) {
             if e.in_rs {
                 self.rs_used -= 1;
             }
             if let ExecState::MemPending(id) = e.state {
-                self.pending_mem.remove(&id);
+                if let Some(p) = self.pending_mem.iter().position(|&(pid, _, _)| pid == id) {
+                    self.pending_mem.swap_remove(p);
+                }
+            }
+            if let Some(ctl) = e.branch.take() {
+                self.ctl_pool.push(ctl);
             }
         }
-        self.rob.truncate(idx + 1);
         // Sequence numbers are ROB positions: rewind so they stay
         // contiguous (uids preserve global uniqueness).
         self.next_seq = self
@@ -426,6 +467,7 @@ impl Core {
         self.tele
             .event(now, EventKind::Recovery, info.pc, wrong_path.len() as u64);
         hooks.on_mispredict(&info, &wrong_path, self.machine.cpu());
+        self.wrong_path_scratch = wrong_path;
     }
 
     // ------------------------------------------------------------ retire
@@ -442,7 +484,7 @@ impl Core {
             if e.state != ExecState::Done || e.completed_at >= now {
                 break;
             }
-            let e = self.rob.pop_front().expect("checked front");
+            let mut e = self.rob.pop_front().expect("checked front");
             retired += 1;
             self.stats.retired_uops += 1;
             self.tele.add(self.tids.retired_uops, 1);
@@ -490,7 +532,7 @@ impl Core {
             };
             hooks.on_retire(&retired_uop);
 
-            if let Some(ctl) = &e.branch {
+            if let Some(ctl) = e.branch.take() {
                 let actual = e.rec.branch.expect("branch record present").actual_taken;
                 self.machine.release(&ctl.machine_cp);
                 if ctl.conditional {
@@ -530,6 +572,7 @@ impl Core {
                         self.stats.indirect_mispredicts += 1;
                     }
                 }
+                self.ctl_pool.push(ctl);
             }
             if self.stats.retired_uops >= self.max_retired {
                 break;
@@ -558,7 +601,7 @@ impl Core {
                 // Younger entries were fetched even later.
                 break;
             }
-            let deps_ready = e.deps.iter().all(|&d| self.dep_ready(d, now));
+            let deps_ready = e.deps.iter().all(|d| self.dep_ready(d, now));
             if !deps_ready {
                 continue;
             }
@@ -608,7 +651,7 @@ impl Core {
                             e.state = ExecState::MemPending(id);
                             e.in_rs = false;
                             self.rs_used -= 1;
-                            self.pending_mem.insert(id, (seq, uid));
+                            self.pending_mem.push((id, seq, uid));
                             issued += 1;
                             loads_issued += 1;
                             self.stats.issued_uops += 1;
@@ -639,6 +682,43 @@ impl Core {
     }
 
     // ------------------------------------------------------------- fetch
+
+    /// A branch-control block capturing the current speculative state
+    /// (machine, predictor, writer map, RAS). Recycled from the pool when
+    /// possible so the checkpoint buffers' heap allocations are reused.
+    fn make_branch_ctl(
+        &mut self,
+        prediction: Prediction,
+        followed: bool,
+        provenance: PredictionProvenance,
+        conditional: bool,
+    ) -> Box<BranchCtl> {
+        match self.ctl_pool.pop() {
+            Some(mut ctl) => {
+                ctl.machine_cp = self.machine.checkpoint();
+                self.predictor.checkpoint_into(&mut ctl.predictor_cp);
+                ctl.writer_cp = self.last_writer;
+                self.ras.checkpoint_into(&mut ctl.ras_cp);
+                ctl.prediction = prediction;
+                ctl.followed = followed;
+                ctl.provenance = provenance;
+                ctl.conditional = conditional;
+                ctl.mispredicted = false;
+                ctl
+            }
+            None => Box::new(BranchCtl {
+                machine_cp: self.machine.checkpoint(),
+                predictor_cp: self.predictor.checkpoint(),
+                writer_cp: self.last_writer,
+                ras_cp: self.ras.checkpoint(),
+                prediction,
+                followed,
+                provenance,
+                conditional,
+                mispredicted: false,
+            }),
+        }
+    }
 
     fn has_unresolved_branch(&self) -> bool {
         self.rob
@@ -689,10 +769,8 @@ impl Core {
                 } else {
                     PredictionProvenance::BasePredictor
                 };
-                let machine_cp = self.machine.checkpoint();
-                let predictor_cp = self.predictor.checkpoint();
-                let writer_cp = self.last_writer;
-                let ras_cp = self.ras.checkpoint();
+                let base_prediction = prediction.taken;
+                branch_ctl = Some(self.make_branch_ctl(prediction, followed, provenance, true));
                 let rec = self
                     .machine
                     .step(&self.program, Force::Direction(followed))
@@ -702,21 +780,10 @@ impl Core {
                     seq,
                     pc,
                     followed,
-                    base_prediction: prediction.taken,
+                    base_prediction,
                     provenance,
                     cycle: now,
                 });
-                branch_ctl = Some(Box::new(BranchCtl {
-                    prediction,
-                    followed,
-                    provenance,
-                    machine_cp,
-                    predictor_cp,
-                    writer_cp,
-                    ras_cp,
-                    conditional: true,
-                    mispredicted: false,
-                }));
                 rec
             } else if uop.is_indirect() {
                 // Returns predict via the RAS; other indirect jumps via
@@ -728,10 +795,12 @@ impl Core {
                     } => self.ras.pop(),
                     _ => self.btb.predict(pc),
                 };
-                let machine_cp = self.machine.checkpoint();
-                let predictor_cp = self.predictor.checkpoint();
-                let writer_cp = self.last_writer;
-                let ras_cp = self.ras.checkpoint();
+                branch_ctl = Some(self.make_branch_ctl(
+                    Prediction::fixed(true),
+                    true,
+                    PredictionProvenance::BasePredictor,
+                    false,
+                ));
                 let rec = self
                     .machine
                     .step(&self.program, Force::Target(predicted))
@@ -746,17 +815,6 @@ impl Core {
                     provenance: PredictionProvenance::BasePredictor,
                     cycle: now,
                 });
-                branch_ctl = Some(Box::new(BranchCtl {
-                    prediction: Prediction::fixed(true),
-                    followed: true,
-                    provenance: PredictionProvenance::BasePredictor,
-                    machine_cp,
-                    predictor_cp,
-                    writer_cp,
-                    ras_cp,
-                    conditional: false,
-                    mispredicted: false,
-                }));
                 rec
             } else {
                 let rec = self
@@ -769,11 +827,12 @@ impl Core {
                 rec
             };
 
-            let deps: Vec<u64> = uop
-                .srcs()
-                .iter()
-                .filter_map(|r| self.last_writer[r.index()])
-                .collect();
+            let mut deps = Deps::default();
+            for r in uop.srcs().iter() {
+                if let Some(s) = self.last_writer[r.index()] {
+                    deps.push(s);
+                }
+            }
             for r in uop.dsts().iter() {
                 self.last_writer[r.index()] = Some(seq);
             }

@@ -49,6 +49,12 @@ impl ReturnAddressStack {
         self.clone()
     }
 
+    /// Snapshot into an existing buffer, reusing its allocation.
+    pub fn checkpoint_into(&self, out: &mut ReturnAddressStack) {
+        out.entries.clone_from(&self.entries);
+        out.top = self.top;
+    }
+
     /// Restores a snapshot.
     pub fn restore(&mut self, cp: &ReturnAddressStack) {
         self.entries.clone_from(&cp.entries);

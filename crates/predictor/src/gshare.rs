@@ -59,6 +59,13 @@ impl ConditionalPredictor for Gshare {
         PredictorCheckpoint::History(self.hist.checkpoint())
     }
 
+    fn checkpoint_into(&self, cp: &mut PredictorCheckpoint) {
+        match cp {
+            PredictorCheckpoint::History(h) => self.hist.checkpoint_into(h),
+            _ => *cp = self.checkpoint(),
+        }
+    }
+
     fn restore(&mut self, cp: &PredictorCheckpoint) {
         match cp {
             PredictorCheckpoint::History(h) => self.hist.restore(h),

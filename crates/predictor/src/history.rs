@@ -158,6 +158,14 @@ impl GlobalHistory {
         }
     }
 
+    /// Captures the current speculative position into an existing
+    /// checkpoint buffer, reusing its folded-view allocation.
+    pub fn checkpoint_into(&self, cp: &mut HistoryCheckpoint) {
+        cp.head = self.head;
+        cp.path = self.path;
+        cp.folded.clone_from(&self.folded);
+    }
+
     /// Restores a checkpoint taken earlier on this history.
     ///
     /// # Panics

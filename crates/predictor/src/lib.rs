@@ -39,6 +39,7 @@
 mod bimodal;
 mod gshare;
 mod history;
+mod inline_vec;
 mod loop_pred;
 mod perceptron;
 mod sc;
@@ -49,10 +50,11 @@ mod traits;
 pub use bimodal::Bimodal;
 pub use gshare::Gshare;
 pub use history::{FoldedHistory, GlobalHistory, HistoryCheckpoint};
+pub use inline_vec::InlineVec;
 pub use loop_pred::{LoopPredictor, LoopPredictorConfig};
-pub use perceptron::{Perceptron, PerceptronConfig};
-pub use sc::{StatisticalCorrector, StatisticalCorrectorConfig};
-pub use tage::{Tage, TageConfig, TageMeta};
+pub use perceptron::{Perceptron, PerceptronConfig, MAX_PERCEPTRON_TABLES};
+pub use sc::{StatisticalCorrector, StatisticalCorrectorConfig, MAX_SC_TABLES};
+pub use tage::{Tage, TageConfig, TageMeta, MAX_TAGE_TABLES};
 pub use tagescl::{TageScl, TageSclConfig};
 pub use traits::{ConditionalPredictor, PredMeta, Prediction, PredictorCheckpoint};
 

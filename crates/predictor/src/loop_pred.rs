@@ -110,12 +110,22 @@ impl LoopPredictor {
     /// Snapshots all speculative iteration counters (entry index, value).
     #[must_use]
     pub fn spec_checkpoint(&self) -> Vec<(usize, u16)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.valid)
-            .map(|(i, e)| (i, e.iter_spec))
-            .collect()
+        let mut out = Vec::new();
+        self.spec_checkpoint_into(&mut out);
+        out
+    }
+
+    /// [`Self::spec_checkpoint`] into an existing buffer, reusing its
+    /// allocation.
+    pub fn spec_checkpoint_into(&self, out: &mut Vec<(usize, u16)>) {
+        out.clear();
+        out.extend(
+            self.entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.valid)
+                .map(|(i, e)| (i, e.iter_spec)),
+        );
     }
 
     /// Restores a snapshot from [`Self::spec_checkpoint`]. Entries

@@ -12,7 +12,12 @@
 use br_isa::Pc;
 
 use crate::history::GlobalHistory;
+use crate::inline_vec::InlineVec;
 use crate::traits::{ConditionalPredictor, PredMeta, Prediction, PredictorCheckpoint};
+
+/// Hard cap on weight tables (history segments), sized comfortably above
+/// the default 6-segment configuration so lookups stay inline.
+pub const MAX_PERCEPTRON_TABLES: usize = 12;
 
 /// Configuration for [`Perceptron`].
 #[derive(Clone, Debug)]
@@ -64,6 +69,10 @@ impl Perceptron {
     #[must_use]
     pub fn new(cfg: PerceptronConfig) -> Self {
         assert!(!cfg.segments.is_empty(), "need at least the bias table");
+        assert!(
+            cfg.segments.len() <= MAX_PERCEPTRON_TABLES,
+            "at most {MAX_PERCEPTRON_TABLES} weight tables supported"
+        );
         let mut hist = GlobalHistory::new(1024);
         let folds = cfg
             .segments
@@ -78,26 +87,26 @@ impl Perceptron {
         }
     }
 
-    fn indices(&self, pc: Pc) -> Vec<usize> {
+    fn indices(&self, pc: Pc) -> InlineVec<u32, MAX_PERCEPTRON_TABLES> {
         let mask = (1usize << self.cfg.table_log2) - 1;
-        self.folds
-            .iter()
-            .enumerate()
-            .map(|(t, f)| match f {
-                None => (pc as usize) & mask,
+        let mut v = InlineVec::new();
+        for (t, f) in self.folds.iter().enumerate() {
+            v.push(match f {
+                None => ((pc as usize) & mask) as u32,
                 Some(h) => {
                     let folded = u64::from(self.hist.folded(*h));
-                    ((pc.rotate_left(t as u32 * 3) ^ folded) as usize) & mask
+                    (((pc.rotate_left(t as u32 * 3) ^ folded) as usize) & mask) as u32
                 }
-            })
-            .collect()
+            });
+        }
+        v
     }
 
-    fn sum(&self, indices: &[usize]) -> i32 {
+    fn sum(&self, indices: &[u32]) -> i32 {
         indices
             .iter()
             .enumerate()
-            .map(|(t, &i)| i32::from(self.tables[t][i]))
+            .map(|(t, &i)| i32::from(self.tables[t][i as usize]))
             .sum()
     }
 }
@@ -125,6 +134,13 @@ impl ConditionalPredictor for Perceptron {
         PredictorCheckpoint::History(self.hist.checkpoint())
     }
 
+    fn checkpoint_into(&self, cp: &mut PredictorCheckpoint) {
+        match cp {
+            PredictorCheckpoint::History(h) => self.hist.checkpoint_into(h),
+            _ => *cp = self.checkpoint(),
+        }
+    }
+
     fn restore(&mut self, cp: &PredictorCheckpoint) {
         match cp {
             PredictorCheckpoint::History(h) => self.hist.restore(h),
@@ -140,7 +156,7 @@ impl ConditionalPredictor for Perceptron {
         if wrong || sum.abs() <= self.cfg.theta {
             let max = self.cfg.weight_max;
             for (t, &i) in indices.iter().enumerate() {
-                let w = &mut self.tables[t][i];
+                let w = &mut self.tables[t][i as usize];
                 if taken {
                     *w = (*w + 1).min(max);
                 } else {

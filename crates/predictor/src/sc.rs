@@ -8,6 +8,11 @@
 use br_isa::Pc;
 
 use crate::history::{GlobalHistory, HistoryCheckpoint};
+use crate::inline_vec::InlineVec;
+
+/// Hard cap on corrector tables (bias table plus history-indexed tables),
+/// sized for the unlimited configuration so lookups stay inline.
+pub const MAX_SC_TABLES: usize = 8;
 
 /// Configuration for [`StatisticalCorrector`].
 #[derive(Clone, Debug)]
@@ -43,7 +48,7 @@ pub struct ScLookup {
     /// Whether the corrector inverted the TAGE direction.
     pub inverted: bool,
     /// Table indices used (bias table first).
-    pub indices: Vec<usize>,
+    pub indices: InlineVec<u32, MAX_SC_TABLES>,
     /// The weighted sum (sign = direction).
     pub sum: i32,
 }
@@ -62,6 +67,10 @@ impl StatisticalCorrector {
     /// Builds a corrector from `cfg`.
     #[must_use]
     pub fn new(cfg: StatisticalCorrectorConfig) -> Self {
+        assert!(
+            cfg.history_lengths.len() < MAX_SC_TABLES,
+            "at most {MAX_SC_TABLES} corrector tables supported (incl. bias)"
+        );
         let mut hist = GlobalHistory::new(256);
         let folds = cfg
             .history_lengths
@@ -76,13 +85,13 @@ impl StatisticalCorrector {
         }
     }
 
-    fn indices(&self, pc: Pc) -> Vec<usize> {
+    fn indices(&self, pc: Pc) -> InlineVec<u32, MAX_SC_TABLES> {
         let mask = (1usize << self.cfg.table_log2) - 1;
-        let mut v = Vec::with_capacity(self.tables.len());
-        v.push(pc as usize & mask);
+        let mut v = InlineVec::new();
+        v.push((pc as usize & mask) as u32);
         for (t, &f) in self.folds.iter().enumerate() {
             let folded = u64::from(self.hist.folded(f));
-            v.push(((pc.rotate_left(t as u32 + 1) ^ folded) as usize) & mask);
+            v.push((((pc.rotate_left(t as u32 + 1) ^ folded) as usize) & mask) as u32);
         }
         v
     }
@@ -97,7 +106,7 @@ impl StatisticalCorrector {
             -self.cfg.tage_weight
         };
         for (t, &idx) in indices.iter().enumerate() {
-            sum += 2 * i32::from(self.tables[t][idx]) + 1;
+            sum += 2 * i32::from(self.tables[t][idx as usize]) + 1;
         }
         let taken = sum >= 0;
         ScLookup {
@@ -111,10 +120,10 @@ impl StatisticalCorrector {
     /// Trains the counters with a retired outcome. `indices`/`sum` come
     /// from prediction time; `final_taken` is the direction the whole
     /// predictor ultimately chose.
-    pub fn train(&mut self, taken: bool, final_taken: bool, indices: &[usize], sum: i32) {
+    pub fn train(&mut self, taken: bool, final_taken: bool, indices: &[u32], sum: i32) {
         if final_taken != taken || sum.abs() <= self.cfg.threshold {
             for (t, &idx) in indices.iter().enumerate() {
-                let c = &mut self.tables[t][idx];
+                let c = &mut self.tables[t][idx as usize];
                 if taken {
                     *c = (*c + 1).min(31);
                 } else {
@@ -133,6 +142,11 @@ impl StatisticalCorrector {
     #[must_use]
     pub fn checkpoint(&self) -> HistoryCheckpoint {
         self.hist.checkpoint()
+    }
+
+    /// Checkpoints the speculative history into an existing buffer.
+    pub fn checkpoint_into(&self, cp: &mut HistoryCheckpoint) {
+        self.hist.checkpoint_into(cp);
     }
 
     /// Restores the speculative history.

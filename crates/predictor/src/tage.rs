@@ -11,7 +11,12 @@
 use br_isa::Pc;
 
 use crate::history::{GlobalHistory, HistoryCheckpoint};
+use crate::inline_vec::InlineVec;
 use crate::traits::{ConditionalPredictor, PredMeta, Prediction, PredictorCheckpoint};
+
+/// Hard cap on tagged tables: sized for the unlimited (MTAGE-like)
+/// configuration so [`TageMeta`]'s per-table lists stay inline.
+pub const MAX_TAGE_TABLES: usize = 20;
 
 /// Configuration for a [`Tage`] predictor.
 #[derive(Clone, Debug)]
@@ -113,13 +118,14 @@ struct TaggedEntry {
     u: u8, // 2-bit useful
 }
 
-/// Prediction-time metadata latched for training.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Prediction-time metadata latched for training. Kept `Copy` (inline
+/// per-table lists) so predicting never allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TageMeta {
     /// Per-table indices computed at prediction time.
-    pub indices: Vec<usize>,
+    pub indices: InlineVec<u32, MAX_TAGE_TABLES>,
     /// Per-table tags computed at prediction time.
-    pub tags: Vec<u16>,
+    pub tags: InlineVec<u16, MAX_TAGE_TABLES>,
     /// Provider table (`None` = bimodal provided).
     pub provider: Option<usize>,
     /// Alternate-prediction table (`None` = bimodal).
@@ -163,6 +169,10 @@ impl Tage {
     /// Builds a TAGE predictor from `cfg`.
     #[must_use]
     pub fn new(cfg: TageConfig) -> Self {
+        assert!(
+            cfg.num_tables <= MAX_TAGE_TABLES,
+            "at most {MAX_TAGE_TABLES} tagged tables supported"
+        );
         let mut hist = GlobalHistory::new(cfg.history_capacity);
         let mut idx_fold = Vec::new();
         let mut tag_fold0 = Vec::new();
@@ -228,17 +238,17 @@ impl Tage {
     #[must_use]
     pub fn lookup(&self, pc: Pc) -> (bool, TageMeta) {
         let n = self.cfg.num_tables;
-        let mut indices = Vec::with_capacity(n);
-        let mut tags = Vec::with_capacity(n);
+        let mut indices = InlineVec::new();
+        let mut tags = InlineVec::new();
         for i in 0..n {
-            indices.push(self.table_index(pc, i));
+            indices.push(self.table_index(pc, i) as u32);
             tags.push(self.table_tag(pc, i));
         }
         // Longest-history match provides; next match (or bimodal) is alt.
         let mut provider = None;
         let mut alt_table = None;
         for i in (0..n).rev() {
-            if self.tables[i][indices[i]].tag == tags[i] {
+            if self.tables[i][indices[i] as usize].tag == tags[i] {
                 if provider.is_none() {
                     provider = Some(i);
                 } else {
@@ -249,10 +259,12 @@ impl Tage {
         }
         let bimodal_index = self.bimodal_index(pc);
         let bimodal_dir = self.bimodal_taken(bimodal_index);
-        let alt_taken = alt_table.map_or(bimodal_dir, |t| self.tables[t][indices[t]].ctr >= 0);
+        let alt_taken = alt_table.map_or(bimodal_dir, |t| {
+            self.tables[t][indices[t] as usize].ctr >= 0
+        });
         let (provider_taken, weak_provider) = match provider {
             Some(t) => {
-                let e = &self.tables[t][indices[t]];
+                let e = &self.tables[t][indices[t] as usize];
                 (e.ctr >= 0, (2 * i32::from(e.ctr) + 1).abs() == 1)
             }
             None => (bimodal_dir, false),
@@ -321,7 +333,7 @@ impl Tage {
             }
             // Useful bit: provider differed from alt and was right.
             if meta.provider_taken != meta.alt_taken {
-                let e = &mut self.tables[p][meta.indices[p]];
+                let e = &mut self.tables[p][meta.indices[p] as usize];
                 if meta.provider_taken == taken {
                     e.u = (e.u + 1).min(3);
                 } else {
@@ -330,12 +342,12 @@ impl Tage {
             }
             // Train provider counter; train alt too if provider was weak
             // and alt was used.
-            let e = &mut self.tables[p][meta.indices[p]];
+            let e = &mut self.tables[p][meta.indices[p] as usize];
             Self::update_ctr(e, taken);
             if meta.used_alt {
                 match meta.alt_table {
                     Some(a) => {
-                        Self::update_ctr(&mut self.tables[a][meta.indices[a]], taken);
+                        Self::update_ctr(&mut self.tables[a][meta.indices[a] as usize], taken);
                     }
                     None => self.update_bimodal(meta.bimodal_index, taken),
                 }
@@ -358,7 +370,7 @@ impl Tage {
                 }
                 let mut allocated = false;
                 for i in first..self.cfg.num_tables {
-                    let idx = meta.indices[i];
+                    let idx = meta.indices[i] as usize;
                     if self.tables[i][idx].u == 0 {
                         self.tables[i][idx] = TaggedEntry {
                             ctr: if taken { 0 } else { -1 },
@@ -371,7 +383,7 @@ impl Tage {
                 }
                 if !allocated {
                     for i in start..self.cfg.num_tables {
-                        let idx = meta.indices[i];
+                        let idx = meta.indices[i] as usize;
                         let e = &mut self.tables[i][idx];
                         e.u = e.u.saturating_sub(1);
                     }
@@ -403,6 +415,11 @@ impl Tage {
         self.hist.checkpoint()
     }
 
+    /// Checkpoints the speculative history into an existing buffer.
+    pub fn history_checkpoint_into(&self, cp: &mut HistoryCheckpoint) {
+        self.hist.checkpoint_into(cp);
+    }
+
     /// Restores a speculative-history checkpoint.
     pub fn restore_history(&mut self, cp: &HistoryCheckpoint) {
         self.hist.restore(cp);
@@ -419,7 +436,7 @@ impl ConditionalPredictor for Tage {
         Prediction {
             taken,
             low_confidence: meta.weak_provider || meta.provider.is_none(),
-            meta: PredMeta::Tage(Box::new(meta)),
+            meta: PredMeta::Tage(meta),
         }
     }
 
@@ -429,6 +446,13 @@ impl ConditionalPredictor for Tage {
 
     fn checkpoint(&self) -> PredictorCheckpoint {
         PredictorCheckpoint::History(self.hist.checkpoint())
+    }
+
+    fn checkpoint_into(&self, cp: &mut PredictorCheckpoint) {
+        match cp {
+            PredictorCheckpoint::History(h) => self.hist.checkpoint_into(h),
+            _ => *cp = self.checkpoint(),
+        }
     }
 
     fn restore(&mut self, cp: &PredictorCheckpoint) {

@@ -114,7 +114,7 @@ impl ConditionalPredictor for TageScl {
             taken,
             low_confidence: low_confidence && !loop_used,
             meta: PredMeta::TageScl {
-                tage: Box::new(tage_meta),
+                tage: tage_meta,
                 tage_taken,
                 loop_used,
                 loop_taken,
@@ -136,6 +136,21 @@ impl ConditionalPredictor for TageScl {
             tage: self.tage.history_checkpoint(),
             sc: self.sc.checkpoint(),
             loop_spec: self.loop_pred.spec_checkpoint(),
+        }
+    }
+
+    fn checkpoint_into(&self, cp: &mut PredictorCheckpoint) {
+        match cp {
+            PredictorCheckpoint::Composite {
+                tage,
+                sc,
+                loop_spec,
+            } => {
+                self.tage.history_checkpoint_into(tage);
+                self.sc.checkpoint_into(sc);
+                self.loop_pred.spec_checkpoint_into(loop_spec);
+            }
+            _ => *cp = self.checkpoint(),
         }
     }
 

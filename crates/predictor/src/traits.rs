@@ -3,6 +3,9 @@
 use br_isa::Pc;
 
 use crate::history::HistoryCheckpoint;
+use crate::inline_vec::InlineVec;
+use crate::perceptron::MAX_PERCEPTRON_TABLES;
+use crate::sc::MAX_SC_TABLES;
 use crate::tage::TageMeta;
 
 /// Opaque per-prediction metadata, captured at predict time and handed back
@@ -24,19 +27,19 @@ pub enum PredMeta {
         index: usize,
     },
     /// TAGE metadata (see [`TageMeta`]).
-    Tage(Box<TageMeta>),
+    Tage(TageMeta),
     /// Hashed-perceptron metadata: the table indices and the signed sum
     /// at prediction time.
     Perceptron {
         /// Per-table row indices.
-        indices: Vec<usize>,
+        indices: InlineVec<u32, MAX_PERCEPTRON_TABLES>,
         /// The weight sum (sign = direction).
         sum: i32,
     },
     /// TAGE-SC-L: TAGE metadata plus SC/loop decisions.
     TageScl {
         /// Inner TAGE metadata.
-        tage: Box<TageMeta>,
+        tage: TageMeta,
         /// The raw TAGE direction before SC/loop overrides.
         tage_taken: bool,
         /// Whether the loop predictor supplied the final direction.
@@ -46,7 +49,7 @@ pub enum PredMeta {
         /// Whether the statistical corrector inverted the TAGE direction.
         sc_inverted: bool,
         /// SC per-table indices at prediction time.
-        sc_indices: Vec<usize>,
+        sc_indices: InlineVec<u32, MAX_SC_TABLES>,
         /// SC weighted sum at prediction time.
         sc_sum: i32,
     },
@@ -123,6 +126,13 @@ pub trait ConditionalPredictor: Send {
 
     /// Captures the speculative state to restore on a misprediction.
     fn checkpoint(&self) -> PredictorCheckpoint;
+
+    /// Captures the speculative state into an existing checkpoint buffer,
+    /// reusing its allocations when the buffer's variant matches. The
+    /// default falls back to a fresh [`Self::checkpoint`].
+    fn checkpoint_into(&self, cp: &mut PredictorCheckpoint) {
+        *cp = self.checkpoint();
+    }
 
     /// Restores state captured by [`Self::checkpoint`].
     fn restore(&mut self, cp: &PredictorCheckpoint);

@@ -170,10 +170,11 @@ fn matrix(setup: &ExperimentSetup, configs: &[SimConfig]) -> Result<Vec<Vec<RunR
             specs.push((cfg.clone(), w.as_str()));
         }
     }
-    let flat = setup.run_specs(&specs)?;
-    Ok(flat
-        .chunks(configs.len())
-        .map(<[RunResult]>::to_vec)
+    // Partition by moving results out of the flat batch; `chunks().to_vec()`
+    // would clone every RunResult (per-site maps, chains) once per cell.
+    let mut flat = setup.run_specs(&specs)?.into_iter();
+    Ok((0..setup.workloads.len())
+        .map(|_| flat.by_ref().take(configs.len()).collect())
         .collect())
 }
 

@@ -178,18 +178,32 @@ pub fn aggregate(mut runs: Vec<(f64, RunResult)>) -> RunResult {
         .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
         .map(|(i, _)| i)
         .expect("nonempty");
-    let mut out = runs[heaviest].1.clone();
     let avg = |f: &dyn Fn(&RunResult) -> u64| -> u64 {
         (runs.iter().map(|(w, r)| *w * f(r) as f64).sum::<f64>() / total_w) as u64
     };
-    out.core.cycles = avg(&|r| r.core.cycles);
-    out.core.retired_uops = avg(&|r| r.core.retired_uops);
-    out.core.retired_branches = avg(&|r| r.core.retired_branches);
-    out.core.mispredicts = avg(&|r| r.core.mispredicts);
-    out.core.issued_uops = avg(&|r| r.core.issued_uops);
-    out.core.issued_loads = avg(&|r| r.core.issued_loads);
-    out.core.fetched_uops = avg(&|r| r.core.fetched_uops);
-    out.core.fetched_branches = avg(&|r| r.core.fetched_branches);
+    let averaged = [
+        avg(&|r| r.core.cycles),
+        avg(&|r| r.core.retired_uops),
+        avg(&|r| r.core.retired_branches),
+        avg(&|r| r.core.mispredicts),
+        avg(&|r| r.core.issued_uops),
+        avg(&|r| r.core.issued_loads),
+        avg(&|r| r.core.fetched_uops),
+        avg(&|r| r.core.fetched_branches),
+    ];
+    // Move the heaviest run out instead of cloning it: RunResult carries
+    // per-site maps and chain structures that are expensive to duplicate.
+    let mut out = runs.swap_remove(heaviest).1;
+    [
+        out.core.cycles,
+        out.core.retired_uops,
+        out.core.retired_branches,
+        out.core.mispredicts,
+        out.core.issued_uops,
+        out.core.issued_loads,
+        out.core.fetched_uops,
+        out.core.fetched_branches,
+    ] = averaged;
     out
 }
 

@@ -304,6 +304,8 @@ pub struct System {
     sampler: Option<Sampler>,
     machine_check: bool,
     injector: Option<FaultInjector>,
+    /// Per-cycle memory-response buffer, reused across the run loop.
+    resp_scratch: Vec<MemResp>,
 }
 
 impl std::fmt::Debug for System {
@@ -352,6 +354,7 @@ impl System {
             sampler,
             machine_check: cfg.machine_check,
             injector: cfg.faults.map(FaultInjector::new),
+            resp_scratch: Vec::new(),
         }
     }
 
@@ -402,7 +405,8 @@ impl System {
         let mut last_cycle = 0;
         for cycle in 0..self.max_cycles {
             last_cycle = cycle;
-            let mut responses = self.mem.tick(cycle);
+            let mut responses = std::mem::take(&mut self.resp_scratch);
+            self.mem.tick_into(cycle, &mut responses);
             if let Some(inj) = &mut self.injector {
                 if let Some(br) = self.hooks.runahead_mut() {
                     let delayed_before = inj.stats().delayed_responses;
@@ -435,6 +439,7 @@ impl System {
             if self.machine_check && cycle.is_multiple_of(MACHINE_CHECK_INTERVAL) {
                 self.check_machine(cycle)?;
             }
+            self.resp_scratch = responses;
             if report.done {
                 break;
             }

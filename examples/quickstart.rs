@@ -20,7 +20,7 @@ fn main() {
     let image = w.build(&params);
     let mut cfg = SimConfig::baseline();
     cfg.max_retired = 300_000;
-    let base = System::new(cfg.clone(), &image).run();
+    let base = System::new(cfg, &image).run();
 
     let mut cfg_br = SimConfig::mini_br();
     cfg_br.max_retired = 300_000;

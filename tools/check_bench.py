@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Perf tripwire: compare a fresh BENCH json against the committed baseline.
+
+Usage:
+    check_bench.py <committed.json> <fresh.json> [--tolerance PCT]
+
+Fails (exit 1) when the fresh run regresses on the committed baseline:
+
+* total wall-clock more than PCT slower (default 25%),
+* any single job more than PCT slower *and* more than 50 ms slower in
+  absolute terms (tiny jobs are pure timing noise),
+* any job's allocation count more than 1.5x the committed count (when
+  both runs counted allocations — allocation counts are deterministic,
+  so this catches a reintroduced per-cycle allocation immediately even
+  when wall-clock noise would hide it).
+
+Machine-to-machine absolute times differ; this check is meant for CI
+runs comparing against a baseline recorded on comparable hardware, with
+a tolerance wide enough to absorb shared-runner noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("schema") != 1:
+        sys.exit(f"{path}: unsupported schema {data.get('schema')!r}")
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("committed")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=25.0,
+                    help="allowed slowdown in percent (default 25)")
+    args = ap.parse_args()
+
+    committed = load(args.committed)
+    fresh = load(args.fresh)
+    factor = 1.0 + args.tolerance / 100.0
+    failures = []
+
+    base_jobs = {j["name"]: j for j in committed["jobs"]}
+    for job in fresh["jobs"]:
+        base = base_jobs.get(job["name"])
+        if base is None:
+            print(f"note: job {job['name']} not in committed baseline, skipping")
+            continue
+        slow = job["seconds"] > base["seconds"] * factor
+        material = job["seconds"] - base["seconds"] > 0.05
+        if slow and material:
+            failures.append(
+                f"{job['name']}: {job['seconds']:.3f}s vs {base['seconds']:.3f}s "
+                f"(+{(job['seconds'] / base['seconds'] - 1) * 100:.0f}%)"
+            )
+        if job.get("allocations") is not None and base.get("allocations") is not None:
+            if job["allocations"] > base["allocations"] * 1.5 + 64:
+                failures.append(
+                    f"{job['name']}: {job['allocations']} allocations vs "
+                    f"{base['allocations']} committed (>1.5x)"
+                )
+
+    if fresh["total_seconds"] > committed["total_seconds"] * factor:
+        failures.append(
+            f"total: {fresh['total_seconds']:.3f}s vs "
+            f"{committed['total_seconds']:.3f}s "
+            f"(+{(fresh['total_seconds'] / committed['total_seconds'] - 1) * 100:.0f}%)"
+        )
+
+    missing = set(base_jobs) - {j["name"] for j in fresh["jobs"]}
+    for name in sorted(missing):
+        failures.append(f"{name}: present in baseline but missing from fresh run")
+
+    if failures:
+        print("perf regression detected:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print(
+        f"bench ok: {fresh['total_seconds']:.2f}s total vs "
+        f"{committed['total_seconds']:.2f}s committed "
+        f"({len(fresh['jobs'])} jobs, tolerance {args.tolerance:.0f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

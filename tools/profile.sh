@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Profile the simulator's hot loop.
+#
+# Builds the `figures` binary with the `profiling` cargo profile
+# (release optimization + full debug symbols) and runs a representative
+# workload under the best profiler available on this machine:
+#
+#   perf     -> perf record + perf report (flat, annotated)
+#   gprofng  -> gprofng collect + er_print
+#   neither  -> plain timed run (the binary is still symbol-rich, so an
+#               external profiler can attach to the printed PID)
+#
+# Usage: tools/profile.sh [figures args...]
+#        default args: --quick --retired 400000 --workloads leela_17 fig2
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=("$@")
+if [ ${#ARGS[@]} -eq 0 ]; then
+  ARGS=(--quick --retired 400000 --workloads leela_17 fig2)
+fi
+
+echo "building with the profiling profile (release + debug symbols)..."
+cargo build --profile profiling -p br-bench --bin figures
+BIN=target/profiling/figures
+OUT=${PROFILE_OUT:-/tmp/br-profile}
+mkdir -p "$OUT"
+
+if command -v perf >/dev/null 2>&1 && perf record -o /dev/null -- true 2>/dev/null; then
+  echo "profiling with perf -> $OUT/perf.data"
+  perf record -o "$OUT/perf.data" -g --call-graph dwarf -- "$BIN" "${ARGS[@]}"
+  perf report -i "$OUT/perf.data" --stdio | head -60
+  echo "full report: perf report -i $OUT/perf.data"
+elif command -v gprofng >/dev/null 2>&1; then
+  echo "profiling with gprofng -> $OUT/test.er"
+  rm -rf "$OUT/test.er"
+  gprofng collect app -o "$OUT/test.er" "$BIN" "${ARGS[@]}"
+  gprofng display text -functions "$OUT/test.er" | head -60
+  echo "full report: gprofng display text -functions $OUT/test.er"
+else
+  echo "no profiler found (perf/gprofng); running timed instead." >&2
+  echo "the binary keeps full symbols: attach any profiler to it." >&2
+  time "$BIN" "${ARGS[@]}"
+fi
